@@ -1,0 +1,248 @@
+//! The right-invariant equivalence `≡` of Theorem 4.
+//!
+//! Theorem 4 needs one equivalence relation of finite index over `Q*` that is
+//! right-invariant and *saturates* every final state sequence set `F_{i1}`,
+//! `F_{i2}` appearing in a pointed hedge representation (each `F` must be a
+//! union of equivalence classes). The classical construction intersects the
+//! Myhill–Nerode relations of the individual languages; operationally that is
+//! a single product DFA tracking all member DFAs at once, whose **states are
+//! the classes**:
+//!
+//! * right-invariant: classes are DFA states, and DFA transitions depend only
+//!   on the current state (`u ≡ v ⇒ uw ≡ vw`);
+//! * finite index: the reachable product state space is finite;
+//! * saturating: whether `w ∈ F_i` is a function of the class of `w` (the
+//!   tracked state of `F_i`'s DFA), so each `F_i` is a union of classes.
+
+use std::collections::HashMap;
+
+use crate::{DenseDfa, Dfa, StateId, Sym};
+
+/// A class of the equivalence (an interned product-DFA state).
+pub type ClassId = u32;
+
+/// A finite-index right-invariant equivalence over `S*` saturating a family
+/// of regular languages, realized as an explicit product DFA over a concrete
+/// alphabet.
+#[derive(Debug, Clone)]
+pub struct SaturatingClasses<S> {
+    alphabet: Vec<S>,
+    sym_idx: HashMap<S, usize>,
+    /// `table[c * (nsyms + 1) + i]`; column `nsyms` is the co-finite edge.
+    table: Vec<ClassId>,
+    /// `accept[c * nlangs + j]`: does class `c` lie inside language `j`?
+    accept: Vec<bool>,
+    nlangs: usize,
+    start: ClassId,
+}
+
+impl<S: Sym> SaturatingClasses<S> {
+    /// Build the equivalence for `langs` over the concrete `alphabet`.
+    ///
+    /// All words agreeing on their runs through every member DFA fall into
+    /// the same class. Symbols outside `alphabet` are collapsed into a single
+    /// "fresh symbol" column, which is sound because every member DFA treats
+    /// unmentioned symbols uniformly (they all take co-finite edges).
+    pub fn build(langs: &[Dfa<S>], alphabet: &[S]) -> SaturatingClasses<S> {
+        let dense: Vec<DenseDfa<S>> = langs
+            .iter()
+            .map(|d| DenseDfa::compile(d, alphabet))
+            .collect();
+        let nsyms = alphabet.len();
+        let width = nsyms + 1;
+        let mut sym_idx = HashMap::with_capacity(nsyms);
+        for (i, s) in alphabet.iter().enumerate() {
+            sym_idx.insert(s.clone(), i);
+        }
+
+        let mut ids: HashMap<Vec<StateId>, ClassId> = HashMap::new();
+        let mut order: Vec<Vec<StateId>> = Vec::new();
+        let mut work: Vec<ClassId> = Vec::new();
+        let start_tuple: Vec<StateId> = dense.iter().map(|d| d.start()).collect();
+        ids.insert(start_tuple.clone(), 0);
+        order.push(start_tuple);
+        work.push(0);
+        let mut table: Vec<ClassId> = Vec::new();
+
+        while let Some(c) = work.pop() {
+            let tuple = order[c as usize].clone();
+            if table.len() < order.len() * width {
+                table.resize(order.len() * width, 0);
+            }
+            for i in 0..width {
+                // Every member DenseDfa is compiled against the same
+                // alphabet, so column `i` means the same symbol in all of
+                // them (and column `nsyms` is everyone's co-finite edge).
+                let next: Vec<StateId> = dense
+                    .iter()
+                    .zip(&tuple)
+                    .map(|(d, &q)| d.step_idx(q, i))
+                    .collect();
+                let fresh = order.len() as ClassId;
+                let id = *ids.entry(next.clone()).or_insert_with(|| {
+                    order.push(next);
+                    work.push(fresh);
+                    fresh
+                });
+                table[c as usize * width + i] = id;
+            }
+        }
+        if table.len() < order.len() * width {
+            table.resize(order.len() * width, 0);
+        }
+
+        let nlangs = langs.len();
+        let mut accept = vec![false; order.len() * nlangs];
+        for (c, tuple) in order.iter().enumerate() {
+            for (j, d) in dense.iter().enumerate() {
+                accept[c * nlangs + j] = d.is_accepting(tuple[j]);
+            }
+        }
+        SaturatingClasses {
+            alphabet: alphabet.to_vec(),
+            sym_idx,
+            table,
+            accept,
+            nlangs,
+            start: 0,
+        }
+    }
+
+    /// Number of equivalence classes (reachable ones; unreachable words have
+    /// no class because they do not exist).
+    pub fn num_classes(&self) -> usize {
+        self.accept.len() / self.nlangs.max(1)
+    }
+
+    /// Number of member languages.
+    pub fn num_langs(&self) -> usize {
+        self.nlangs
+    }
+
+    /// The class of the empty word.
+    pub fn start(&self) -> ClassId {
+        self.start
+    }
+
+    /// The concrete alphabet the classes were built over.
+    pub fn alphabet(&self) -> &[S] {
+        &self.alphabet
+    }
+
+    /// Extend a class by one symbol on the right (right-invariance in
+    /// action): `class_of(w·s) = step(class_of(w), s)`.
+    #[inline]
+    pub fn step(&self, c: ClassId, s: &S) -> ClassId {
+        let nsyms = self.alphabet.len();
+        let i = self.sym_idx.get(s).copied().unwrap_or(nsyms);
+        self.table[c as usize * (nsyms + 1) + i]
+    }
+
+    /// The class of a whole word.
+    pub fn class_of(&self, word: &[S]) -> ClassId {
+        let mut c = self.start;
+        for s in word {
+            c = self.step(c, s);
+        }
+        c
+    }
+
+    /// Is class `c` contained in member language `lang`? (Saturation makes
+    /// this well-defined per class.)
+    #[inline]
+    pub fn class_in_lang(&self, c: ClassId, lang: usize) -> bool {
+        self.accept[c as usize * self.nlangs + lang]
+    }
+
+    /// Membership of a word in a member language, via its class.
+    pub fn word_in_lang(&self, word: &[S], lang: usize) -> bool {
+        self.class_in_lang(self.class_of(word), lang)
+    }
+
+    /// The transition function of symbol `s` over classes, as a table. Used
+    /// by Algorithm 1's right-to-left suffix pass.
+    pub fn step_fn(&self, s: &S) -> Vec<ClassId> {
+        (0..self.num_classes() as ClassId)
+            .map(|c| self.step(c, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Nfa, Regex};
+
+    fn dfa(r: Regex<u8>) -> Dfa<u8> {
+        Nfa::from_regex(&r).to_dfa()
+    }
+
+    #[test]
+    fn saturates_member_languages() {
+        // F0 = (1 2)*, F1 = 1 .* over alphabet {1,2}.
+        let f0 = dfa(Regex::word(&[1u8, 2]).star());
+        let f1 = dfa(Regex::sym(1u8).concat(Regex::any_sym().star()));
+        let eq = SaturatingClasses::build(&[f0.clone(), f1.clone()], &[1, 2]);
+        for w in [
+            vec![],
+            vec![1],
+            vec![2],
+            vec![1, 2],
+            vec![1, 2, 1],
+            vec![2, 1],
+            vec![1, 1],
+            vec![1, 2, 1, 2],
+        ] {
+            assert_eq!(eq.word_in_lang(&w, 0), f0.accepts(&w), "F0 on {w:?}");
+            assert_eq!(eq.word_in_lang(&w, 1), f1.accepts(&w), "F1 on {w:?}");
+        }
+    }
+
+    #[test]
+    fn right_invariance() {
+        let f0 = dfa(Regex::word(&[1u8, 2]).star());
+        let eq = SaturatingClasses::build(&[f0], &[1, 2]);
+        // If u ≡ v then u·w ≡ v·w for all w: step from equal classes is equal.
+        let u = eq.class_of(&[1, 2]);
+        let v = eq.class_of(&[1, 2, 1, 2]);
+        assert_eq!(u, v);
+        assert_eq!(eq.step(u, &1), eq.step(v, &1));
+        assert_eq!(eq.class_of(&[1, 2, 1]), eq.step(u, &1));
+    }
+
+    #[test]
+    fn classes_distinguish_differing_futures() {
+        let f0 = dfa(Regex::word(&[1u8, 2]).star());
+        let eq = SaturatingClasses::build(&[f0], &[1, 2]);
+        // ε ∈ F0 but "1" ∉ F0, so their classes must differ.
+        assert_ne!(eq.class_of(&[]), eq.class_of(&[1]));
+        // "2" and "1 1" are both dead; they may share a class.
+        assert_eq!(eq.class_of(&[2]), eq.class_of(&[1, 1]));
+    }
+
+    #[test]
+    fn finite_index() {
+        let f0 = dfa(Regex::word(&[1u8, 2]).star());
+        let f1 = dfa(Regex::sym(1u8).star());
+        let eq = SaturatingClasses::build(&[f0, f1], &[1, 2]);
+        assert!(eq.num_classes() <= 12);
+        assert_eq!(eq.num_langs(), 2);
+    }
+
+    #[test]
+    fn step_fn_matches_step() {
+        let f0 = dfa(Regex::sym(1u8).star().concat(Regex::sym(2)));
+        let eq = SaturatingClasses::build(&[f0], &[1, 2]);
+        let t = eq.step_fn(&1);
+        for c in 0..eq.num_classes() as ClassId {
+            assert_eq!(t[c as usize], eq.step(c, &1));
+        }
+    }
+
+    #[test]
+    fn unknown_symbols_collapse_to_fresh_column() {
+        let f0 = dfa(Regex::any_sym().star());
+        let eq = SaturatingClasses::build(&[f0], &[1, 2]);
+        assert!(eq.word_in_lang(&[77, 78], 0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Flat-table DFAs for hot execution paths.
+//!
+//! Symbolic [`Dfa`]s are flexible but step by scanning label lists. Hedge
+//! automaton runs evaluate a horizontal DFA once per tree node, so the
+//! executor compiles each horizontal automaton against its concrete alphabet
+//! (the hedge automaton's state set) into a dense `state × symbol` table.
+
+use std::collections::HashMap;
+
+use crate::{Dfa, StateId, Sym};
+
+/// A [`Dfa`] compiled against a concrete, finite alphabet.
+///
+/// Symbols outside the compiled alphabet take the automaton's co-finite
+/// ("anything else") edges, so a `DenseDfa` still agrees with its source on
+/// every possible input.
+#[derive(Debug, Clone)]
+pub struct DenseDfa<S> {
+    nsyms: usize,
+    sym_idx: HashMap<S, usize>,
+    /// `table[q * (nsyms + 1) + i]` — column `nsyms` is the co-finite edge.
+    table: Vec<StateId>,
+    start: StateId,
+    accept: Vec<bool>,
+}
+
+impl<S: Sym> DenseDfa<S> {
+    /// Compile `dfa` against `alphabet`. Duplicate alphabet entries are
+    /// tolerated (last occurrence wins; behaviour is identical either way).
+    pub fn compile(dfa: &Dfa<S>, alphabet: &[S]) -> DenseDfa<S> {
+        let nsyms = alphabet.len();
+        let mut sym_idx = HashMap::with_capacity(nsyms);
+        for (i, s) in alphabet.iter().enumerate() {
+            sym_idx.insert(s.clone(), i);
+        }
+        let n = dfa.num_states();
+        let width = nsyms + 1;
+        let mut table = vec![0 as StateId; n * width];
+        for q in 0..n as StateId {
+            for (i, s) in alphabet.iter().enumerate() {
+                table[q as usize * width + i] = dfa.step(q, s);
+            }
+            table[q as usize * width + nsyms] = dfa.step_cofinite(q);
+        }
+        DenseDfa {
+            nsyms,
+            sym_idx,
+            table,
+            start: dfa.start(),
+            accept: (0..n as StateId).map(|q| dfa.is_accepting(q)).collect(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Is `q` accepting?
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accept[q as usize]
+    }
+
+    /// Successor of `q` on `s`.
+    #[inline]
+    pub fn step(&self, q: StateId, s: &S) -> StateId {
+        let i = self.sym_idx.get(s).copied().unwrap_or(self.nsyms);
+        self.table[q as usize * (self.nsyms + 1) + i]
+    }
+
+    /// Successor of `q` on the pre-resolved symbol index (see
+    /// [`DenseDfa::sym_index`]); the fastest stepping path.
+    #[inline]
+    pub fn step_idx(&self, q: StateId, i: usize) -> StateId {
+        self.table[q as usize * (self.nsyms + 1) + i]
+    }
+
+    /// Resolve a symbol to its table column (the co-finite column for
+    /// unknown symbols). Resolve once, step many times.
+    #[inline]
+    pub fn sym_index(&self, s: &S) -> usize {
+        self.sym_idx.get(s).copied().unwrap_or(self.nsyms)
+    }
+
+    /// Run on a word from the start state.
+    pub fn run(&self, word: &[S]) -> StateId {
+        let mut q = self.start;
+        for s in word {
+            q = self.step(q, s);
+        }
+        q
+    }
+
+    /// Membership test.
+    pub fn accepts(&self, word: &[S]) -> bool {
+        self.accept[self.run(word) as usize]
+    }
+
+    /// The transition function of column `i` as a state-indexed table.
+    /// Composition of these tables, right-to-left, is Algorithm 1's
+    /// linear-time suffix-class computation.
+    pub fn column_fn(&self, i: usize) -> Vec<StateId> {
+        (0..self.num_states())
+            .map(|q| self.table[q * (self.nsyms + 1) + i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Nfa, Regex};
+
+    fn dense(r: Regex<u8>, alphabet: &[u8]) -> (Dfa<u8>, DenseDfa<u8>) {
+        let d = Nfa::from_regex(&r).to_dfa();
+        let dd = DenseDfa::compile(&d, alphabet);
+        (d, dd)
+    }
+
+    #[test]
+    fn dense_agrees_with_symbolic() {
+        let (d, dd) = dense(
+            Regex::sym(1u8).alt(Regex::sym(2)).star().concat(Regex::sym(3)),
+            &[1, 2, 3],
+        );
+        for w in [
+            vec![3u8],
+            vec![1, 2, 3],
+            vec![1, 1, 1, 3],
+            vec![3, 3],
+            vec![],
+            vec![2],
+        ] {
+            assert_eq!(d.accepts(&w), dd.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_take_cofinite_edge() {
+        let (d, dd) = dense(Regex::any_sym().star(), &[1, 2]);
+        assert_eq!(d.accepts(&[99]), dd.accepts(&[99]));
+        assert!(dd.accepts(&[99, 1, 2]));
+    }
+
+    #[test]
+    fn column_fn_matches_step() {
+        let (_, dd) = dense(Regex::word(&[1u8, 2]).star(), &[1, 2]);
+        for i in 0..=2 {
+            let col = dd.column_fn(i);
+            for q in 0..dd.num_states() as StateId {
+                assert_eq!(col[q as usize], dd.step_idx(q, i));
+            }
+        }
+    }
+
+    #[test]
+    fn sym_index_resolves_unknown_to_cofinite() {
+        let (_, dd) = dense(Regex::sym(1u8), &[1]);
+        assert_eq!(dd.sym_index(&1), 0);
+        assert_eq!(dd.sym_index(&42), 1); // the co-finite column
+    }
+}

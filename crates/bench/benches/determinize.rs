@@ -1,0 +1,44 @@
+//! Experiment E2 — Theorem 1 + Section 9: determinization is exponential in
+//! the worst case but "usually efficient" (the paper's conjecture).
+//!
+//! Two families:
+//! * `adversarial/k` — the depth-memory family (2^k determinized states);
+//! * `typical/k` — a layered document grammar (≈k states; the shape of
+//!   real schemas, where bottom-up behaviour is almost deterministic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hedgex_bench::{depth_memory_nha, layered_schema_nha};
+use hedgex_ha::determinize;
+use hedgex_hedge::Alphabet;
+
+fn bench_determinize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_determinize");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("adversarial", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || {
+                    let mut ab = Alphabet::new();
+                    depth_memory_nha(k, &mut ab)
+                },
+                |nha| std::hint::black_box(determinize(&nha).dha.num_states()),
+            )
+        });
+    }
+    for k in [2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("typical", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || {
+                    let mut ab = Alphabet::new();
+                    layered_schema_nha(k, &mut ab)
+                },
+                |nha| std::hint::black_box(determinize(&nha).dha.num_states()),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_determinize);
+criterion_main!(benches);

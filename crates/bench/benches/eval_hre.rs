@@ -1,0 +1,33 @@
+//! Experiment E4 — Theorem 3 / Section 6: hedge-regular-expression
+//! evaluation is linear in the number of nodes.
+//!
+//! Sweeps the corpus size with a fixed content query (`caption<$#text>`)
+//! and measures one full marking run (automaton execution + per-node `F`
+//! check). The paper's claim: time linear in nodes — throughput
+//! (nodes/second) should stay flat across the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hedgex_bench::{doc_workload, figure_content_hre};
+use hedgex_core::mark_down::{compile_to_dha, mark_run};
+
+fn bench_eval_hre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_eval_hre_linear");
+    group.sample_size(20);
+    for &n in &[1_000usize, 4_000, 16_000, 64_000, 256_000] {
+        let mut w = doc_workload(n, 0xE4);
+        let e = figure_content_hre(&mut w.ab);
+        let dha = compile_to_dha(&e);
+        group.throughput(Throughput::Elements(w.nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w.nodes), &w, |b, w| {
+            b.iter(|| {
+                let marks = mark_run(&dha, &w.doc);
+                std::hint::black_box(marks.iter().filter(|&&m| m).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_hre);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment E5 — Theorem 4 + Algorithm 1: pointed-hedge-representation
+//! evaluation is linear; the naive per-node strategy is quadratic.
+//!
+//! Both evaluators run the *same compiled automata*; the only difference is
+//! Algorithm 1's sharing across nodes (prefix classes, suffix classes by
+//! function composition, one top-down N run). Expected shape: flat
+//! node-throughput for the two-pass evaluator, linearly degrading
+//! throughput for the baseline, crossover at tiny documents only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hedgex_baseline::quadratic_locate_phr;
+use hedgex_bench::{doc_workload, figure_before_table_phr};
+use hedgex_core::two_pass;
+use hedgex_core::CompiledPhr;
+
+fn bench_two_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_two_pass_linear");
+    group.sample_size(15);
+    for &n in &[1_000usize, 4_000, 16_000, 64_000, 256_000] {
+        let mut w = doc_workload(n, 0xE5);
+        let phr = figure_before_table_phr(&mut w.ab);
+        let compiled = CompiledPhr::compile(&phr);
+        group.throughput(Throughput::Elements(w.nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w.nodes), &w, |b, w| {
+            b.iter(|| std::hint::black_box(two_pass::locate(&compiled, &w.doc).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadratic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_naive_quadratic");
+    group.sample_size(10);
+    for &n in &[1_000usize, 2_000, 4_000, 8_000] {
+        let mut w = doc_workload(n, 0xE5);
+        let phr = figure_before_table_phr(&mut w.ab);
+        let compiled = CompiledPhr::compile(&phr);
+        group.throughput(Throughput::Elements(w.nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w.nodes), &w, |b, w| {
+            b.iter(|| std::hint::black_box(quadratic_locate_phr(&compiled, &w.doc).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_pass, bench_quadratic);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment E8 — Section 8 (end): the classical-path-expression special
+//! case vs the general PHR machinery, on the *same* query
+//! (`article section* figure`).
+//!
+//! Three measurements on a fixed 64k-node corpus:
+//! * `path_direct` — one top-down DFA traversal (the special case);
+//! * `phr_two_pass` — the same query embedded as a PHR with universal
+//!   sibling conditions, run through Theorem 4 + Algorithm 1;
+//! * `compile_path_as_phr` vs `compile_path_direct` — construction cost.
+//!
+//! Expected shape: identical answers; the general machinery pays a
+//! constant-factor evaluation overhead (classes + signatures) and a much
+//! larger compilation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use hedgex_bench::{doc_workload, figure_path};
+use hedgex_core::two_pass;
+use hedgex_core::CompiledPhr;
+
+fn bench_path_ablation(c: &mut Criterion) {
+    let mut w = doc_workload(64_000, 0xE8);
+    let path = figure_path(&mut w.ab);
+    let z = w.ab.sub("zz");
+    let syms: Vec<_> = w.ab.syms().collect();
+    let vars: Vec<_> = w.ab.vars().collect();
+    let phr = path.to_phr(&syms, &vars, z);
+    let compiled = CompiledPhr::compile(&phr);
+
+    // Answers agree (checked once up front; the benches then time each).
+    assert_eq!(path.locate(&w.doc), two_pass::locate(&compiled, &w.doc));
+
+    let mut group = c.benchmark_group("E8_path_ablation");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(w.nodes as u64));
+    group.bench_function("path_direct", |b| {
+        b.iter(|| std::hint::black_box(path.locate(&w.doc).len()))
+    });
+    group.bench_function("phr_two_pass", |b| {
+        b.iter(|| std::hint::black_box(two_pass::locate(&compiled, &w.doc).len()))
+    });
+    group.bench_function("compile_path_as_phr", |b| {
+        b.iter(|| std::hint::black_box(CompiledPhr::compile(&phr).m.num_states()))
+    });
+    group.bench_function("build_simplified_mark_up", |b| {
+        b.iter(|| std::hint::black_box(path.match_identifying_nha(&syms, &vars).nha.num_states()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_ablation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment E7 — Theorem 5 + Section 8: match-identifying automata and
+//! schema transformation.
+//!
+//! Measures the full `transform_select` pipeline (M↓e₁ construction,
+//! Theorem 5's M↑e₂, the triple intersection, usefulness analysis, output
+//! extraction) on document schemas of growing size. The paper gives no
+//! complexity bound beyond "regular sets are closed under …"; the bench
+//! records how the construction scales with schema layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hedgex_automata::Regex;
+use hedgex_core::hre::parse_hre;
+use hedgex_core::phr::parse_phr;
+use hedgex_core::schema::transform_select;
+use hedgex_ha::{Dha, DhaBuilder, Leaf};
+use hedgex_hedge::Alphabet;
+
+/// A k-layer document schema: sec0 ::= (sec1|para)*, …, para ::= #text?.
+fn schema(k: usize, ab: &mut Alphabet) -> Dha {
+    let para = ab.sym("para");
+    let text = ab.var("#text");
+    let levels: Vec<_> = (0..k).map(|i| ab.sym(&format!("sec{i}"))).collect();
+    // states: 0..k = levels, k = para, k+1 = text, k+2 = sink.
+    let mut b = DhaBuilder::new(k as u32 + 3, k as u32 + 2);
+    b.leaf(Leaf::Var(text), k as u32 + 1);
+    b.rule(para, Regex::sym(k as u32 + 1).opt(), k as u32);
+    for (i, &sym) in levels.iter().enumerate() {
+        let inner = if i + 1 < k {
+            Regex::sym(i as u32 + 1).alt(Regex::sym(k as u32)).star()
+        } else {
+            Regex::sym(k as u32).star()
+        };
+        b.rule(sym, inner, i as u32);
+    }
+    b.finals(Regex::sym(0).star());
+    b.build()
+}
+
+fn bench_schema_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_schema_transform");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("layers", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || {
+                    let mut ab = Alphabet::new();
+                    let s = schema(k, &mut ab);
+                    let names: Vec<String> = (0..k)
+                        .map(|i| format!("sec{i}<%z>"))
+                        .chain(["para<%z>".into(), "$#text".into()])
+                        .collect();
+                    let u = format!("({})*^z", names.join("|"));
+                    let e1 = parse_hre("$#text?", &mut ab).unwrap();
+                    let e2 = parse_phr(
+                        &format!("[{u} ; para ; {u}][{u} ; sec{} ; {u}]", k - 1),
+                        &mut ab,
+                    )
+                    .unwrap();
+                    let syms: Vec<_> = ab.syms().collect();
+                    let vars: Vec<_> = ab.vars().collect();
+                    (s, e1, e2, syms, vars)
+                },
+                |(s, e1, e2, syms, vars)| {
+                    let st = transform_select(&s, &e1, &e2, &syms, &vars);
+                    std::hint::black_box(st.intersection.num_states())
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_transform);
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Regenerate the non-timing experiment tables (state counts, sizes,
+//! accept/reject matrices). Timing figures come from `cargo bench`; this
+//! binary prints everything EXPERIMENTS.md records that Criterion doesn't.
+//!
+//! ```sh
+//! cargo run --release -p hedgex-bench --bin report
+//! ```
+
+use std::time::Instant;
+
+use hedgex_automata::Regex;
+use hedgex_bench::*;
+use hedgex_core::hre::parse_hre;
+use hedgex_core::phr::parse_phr;
+use hedgex_core::schema::transform_select;
+use hedgex_core::{compile_hre, decompile_dha, CompiledPhr};
+use hedgex_ha::paper::{m0, m1};
+use hedgex_ha::{determinize, DhaBuilder, Leaf};
+use hedgex_hedge::{parse_hedge, Alphabet};
+
+fn main() {
+    e1_worked_examples();
+    e2_determinization();
+    e3_roundtrip();
+    e6_compile_sizes();
+    e7_schema();
+    e8_path_ablation();
+}
+
+fn e1_worked_examples() {
+    println!("== E1: Section 3 worked examples (accept/reject) ==");
+    let mut ab = Alphabet::new();
+    let a0 = m0(&mut ab);
+    let a1 = m1(&mut ab);
+    println!("{:<30} {:>6} {:>6}", "hedge", "M0", "M1");
+    for src in [
+        "d<p<$x> p<$y>> d<p<$x>>",
+        "d<p<$x> p<$y>>",
+        "d<p<$x $x> p<$x $x>>",
+        "d<p<$x>>",
+        "d<p<$y>>",
+        "p<$x>",
+        "",
+    ] {
+        let h = parse_hedge(src, &mut ab).unwrap();
+        println!(
+            "{:<30} {:>6} {:>6}",
+            if src.is_empty() { "(empty)" } else { src },
+            a0.accepts(&h),
+            a1.accepts(&h)
+        );
+    }
+    println!();
+}
+
+fn e2_determinization() {
+    println!("== E2: determinization state counts (Theorem 1 / §9 conjecture) ==");
+    println!(
+        "{:<14} {:>4} {:>12} {:>12} {:>12}",
+        "family", "k", "NHA states", "DHA states", "build time"
+    );
+    for k in [2usize, 3, 4, 5, 6] {
+        let mut ab = Alphabet::new();
+        let nha = depth_memory_nha(k, &mut ab);
+        let t = Instant::now();
+        let det = determinize(&nha);
+        println!(
+            "{:<14} {:>4} {:>12} {:>12} {:>12?}",
+            "adversarial",
+            k,
+            nha.num_states(),
+            det.dha.num_states(),
+            t.elapsed()
+        );
+    }
+    for k in [2usize, 4, 8, 16, 32] {
+        let mut ab = Alphabet::new();
+        let nha = layered_schema_nha(k, &mut ab);
+        let t = Instant::now();
+        let det = determinize(&nha);
+        println!(
+            "{:<14} {:>4} {:>12} {:>12} {:>12?}",
+            "typical",
+            k,
+            nha.num_states(),
+            det.dha.num_states(),
+            t.elapsed()
+        );
+    }
+    println!();
+}
+
+fn e3_roundtrip() {
+    println!("== E3: Theorem 2 round trip (HRE ↔ HA) ==");
+    let mut ab = Alphabet::new();
+    // Note: expressions using substitution symbols compile to automata with
+    // ι(z̄) leaf states, which Lemma 2 cannot re-express over H[Σ, X]
+    // (documented limitation); the round trip is exercised on the
+    // substitution-free fragment.
+    for src in ["(a<b*>|b)*", "a<b>* b?", "(a<b* $x?>|b<a?>)*"] {
+        let e = parse_hre(src, &mut ab).unwrap();
+        let nha = compile_hre(&e);
+        let det = determinize(&nha);
+        let t = Instant::now();
+        let back = decompile_dha(&det.dha, &mut ab);
+        println!(
+            "{:<22} size {:>3} → NHA {:>3} states → DHA {:>3} states → HRE size {:>6}  ({:?})",
+            src,
+            e.size(),
+            nha.num_states(),
+            det.dha.num_states(),
+            back.size(),
+            t.elapsed()
+        );
+    }
+    println!();
+}
+
+fn e6_compile_sizes() {
+    println!("== E6: compilation artifact sizes (Theorem 4) ==");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}",
+        "triplets", "PHR size", "M states", "≡ classes", "compile time"
+    );
+    for t in 1..=4usize {
+        let mut ab = Alphabet::new();
+        let phr = varied_phr(t, &mut ab);
+        let t0 = Instant::now();
+        let c = CompiledPhr::compile(&phr);
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>12?}",
+            t,
+            phr.size(),
+            c.m.num_states(),
+            c.classes.num_classes(),
+            t0.elapsed()
+        );
+    }
+    println!();
+}
+
+fn e7_schema() {
+    println!("== E7: schema transformation artifacts (Theorem 5 / §8) ==");
+    let mut ab = Alphabet::new();
+    let article = ab.sym("article");
+    let section = ab.sym("section");
+    let para = ab.sym("para");
+    let figure = ab.sym("figure");
+    let caption = ab.sym("caption");
+    let text = ab.var("#text");
+    let mut b = DhaBuilder::new(7, 6);
+    b.leaf(Leaf::Var(text), 5)
+        .rule(article, Regex::sym(1).star(), 0)
+        .rule(section, Regex::sym(2).alt(Regex::sym(3)).star(), 1)
+        .rule(para, Regex::sym(5).opt(), 2)
+        .rule(figure, Regex::sym(4), 3)
+        .rule(caption, Regex::sym(5).opt(), 4)
+        .finals(Regex::sym(0).star());
+    let schema = b.build();
+    let u = "(article<%z>|section<%z>|para<%z>|figure<%z>|caption<%z>|$#text)*^z";
+    let e1 = parse_hre(&format!("caption<{u}>"), &mut ab).unwrap();
+    let e2 = parse_phr(
+        &format!("[{u} ; figure ; {u}][{u} ; section ; {u}][{u} ; article ; {u}]"),
+        &mut ab,
+    )
+    .unwrap();
+    let syms: Vec<_> = ab.syms().collect();
+    let vars: Vec<_> = ab.vars().collect();
+    let t = Instant::now();
+    let st = transform_select(&schema, &e1, &e2, &syms, &vars);
+    println!("input schema: 7 states (article/section/para/figure/caption grammar)");
+    println!("query: select(caption<…> , figure/section/article)");
+    println!(
+        "intersection: {} states; marked {}; live-marked {}; built in {:?}",
+        st.intersection.num_states(),
+        st.marked.iter().filter(|&&m| m).count(),
+        st.live_marked.iter().filter(|&&m| m).count(),
+        t.elapsed()
+    );
+    for probe in ["figure<caption>", "figure<caption<$#text>>", "caption", "para"] {
+        let h = parse_hedge(probe, &mut ab).unwrap();
+        println!("  output schema ∋ {probe:28} = {}", st.output.accepts(&h));
+    }
+    println!();
+}
+
+fn e8_path_ablation() {
+    println!("== E8: path-expression special case vs general PHR (§8 end) ==");
+    let mut w = doc_workload(64_000, 0xE8);
+    let path = figure_path(&mut w.ab);
+    let z = w.ab.sub("zz");
+    let syms: Vec<_> = w.ab.syms().collect();
+    let vars: Vec<_> = w.ab.vars().collect();
+
+    let t = Instant::now();
+    let phr = path.to_phr(&syms, &vars, z);
+    let compiled = CompiledPhr::compile(&phr);
+    let phr_compile_t = t.elapsed();
+
+    let t = Instant::now();
+    let simple = path.match_identifying_nha(&syms, &vars);
+    let simple_t = t.elapsed();
+
+    let t = Instant::now();
+    let direct = path.locate(&w.doc);
+    let direct_t = t.elapsed();
+    let t = Instant::now();
+    let general = hedgex_core::two_pass::locate(&compiled, &w.doc);
+    let general_t = t.elapsed();
+    assert_eq!(direct, general);
+
+    println!("document: {} nodes; query: article section* figure", w.nodes);
+    println!(
+        "{:<34} {:>10} {:>14}",
+        "construction", "states", "build time"
+    );
+    println!(
+        "{:<34} {:>10} {:>14?}",
+        "general PHR (Thm 4: M + ≡ + N)",
+        compiled.m.num_states(),
+        phr_compile_t
+    );
+    println!(
+        "{:<34} {:>10} {:>14?}",
+        "simplified M' ((S×Σ)∪{⊥}, §8)",
+        simple.nha.num_states(),
+        simple_t
+    );
+    println!("{:<34} {:>10} {:>14}", "evaluation", "matches", "latency");
+    println!(
+        "{:<34} {:>10} {:>14?}",
+        "path direct (1 traversal)",
+        direct.len(),
+        direct_t
+    );
+    println!(
+        "{:<34} {:>10} {:>14?}",
+        "general two-pass (Algorithm 1)",
+        general.len(),
+        general_t
+    );
+    // Complexity note (E5/E4 shapes come from `cargo bench`).
+    println!();
+}

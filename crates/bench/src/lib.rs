@@ -1,0 +1,211 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! One Criterion bench target exists per experiment in DESIGN.md §4 (E2–E8);
+//! this library centralizes the queries, schemas, and corpora they share so
+//! that every bench measures the same objects the tests verified.
+
+use hedgex_core::hre::{parse_hre, Hre};
+use hedgex_core::path_expr::{parse_path, PathExpr};
+use hedgex_core::phr::{parse_phr, Phr};
+use hedgex_hedge::{Alphabet, FlatHedge, Hedge};
+use hedgex_xml::{docbook, DocbookConfig};
+
+/// A ready-to-measure workload: alphabet, document, and the standard
+/// queries over it.
+pub struct Workload {
+    /// The interned alphabet (shared by document and queries).
+    pub ab: Alphabet,
+    /// The document, flattened.
+    pub doc: FlatHedge,
+    /// Total node count.
+    pub nodes: usize,
+}
+
+/// Build the standard DocBook-flavoured document of roughly `n` nodes.
+pub fn doc_workload(n: usize, seed: u64) -> Workload {
+    let mut ab = Alphabet::new();
+    let cfg = DocbookConfig {
+        target_nodes: n,
+        ..DocbookConfig::default()
+    };
+    let h: Hedge = docbook(&cfg, seed, &mut ab);
+    let doc = FlatHedge::from_hedge(&h);
+    let nodes = doc.num_nodes();
+    Workload { ab, doc, nodes }
+}
+
+/// The universal hedge expression over the DocBook alphabet (interns into
+/// `ab`; call after [`doc_workload`] so names align).
+pub fn docbook_universal(ab: &mut Alphabet) -> String {
+    let alts: Vec<String> = hedgex_xml::corpus::DOCBOOK_SYMS
+        .iter()
+        .map(|s| format!("{s}<%z>"))
+        .chain(std::iter::once("$#text".to_string()))
+        .collect();
+    let _ = ab;
+    format!("({})*^z", alts.join("|"))
+}
+
+/// The benchmark's standard sibling-sensitive query: figures whose
+/// immediately following sibling is a table, inside sections at any depth —
+/// the introduction's motivating example.
+pub fn figure_before_table_phr(ab: &mut Alphabet) -> Phr {
+    let u = docbook_universal(ab);
+    // Younger condition: the first younger sibling is a table (with any
+    // content), then anything — note `table<%z>*^z` would be wrong (its
+    // star admits ε, making the condition vacuous).
+    let src = format!(
+        "[{u} ; figure ; table<{u}> ({u})][{u} ; section ; {u}]([{u} ; section ; {u}]|[{u} ; article ; {u}])*"
+    );
+    parse_phr(&src, ab).expect("benchmark PHR parses")
+}
+
+/// The standard ancestor-only query as a classical path expression:
+/// `article section* figure` (the paper's `(section*, figure)`).
+pub fn figure_path(ab: &mut Alphabet) -> PathExpr {
+    parse_path("article section* figure", ab).expect("benchmark path parses")
+}
+
+/// The standard content expression: a figure body (`caption` with text).
+pub fn figure_content_hre(ab: &mut Alphabet) -> Hre {
+    parse_hre("caption<$#text>", ab).expect("benchmark HRE parses")
+}
+
+/// A PHR with `t` *distinct* triplets for the E6 compile-cost sweep: each
+/// triplet constrains the elder siblings with its own marker element
+/// `c{i}`, so the shared product automaton `M` genuinely grows with `t`
+/// (identical triplets would collapse in the product).
+pub fn varied_phr(t: usize, ab: &mut Alphabet) -> Phr {
+    let base: Vec<String> = (0..t).map(|i| format!("c{i}<%z>")).collect();
+    let u = format!("(a<%z>|b<%z>|{})*^z", base.join("|"));
+    let parts: Vec<String> = (0..t)
+        .map(|i| format!("[({u}) c{i}<{u}>? ; a ; {u}]"))
+        .collect();
+    parse_phr(&format!("({})*", parts.join("|")), ab).expect("varied PHR parses")
+}
+
+/// The adversarial NHA family for experiment E2: state `i` means "some `b`
+/// lies exactly `i` levels below this node". An `a`-node can hold any
+/// *set* of such distances simultaneously, so the subset construction must
+/// materialize ~2^k tree states — the hedge analogue of the classic
+/// "k-th symbol from the end" blow-up.
+pub fn depth_memory_nha(k: usize, ab: &mut Alphabet) -> hedgex_ha::Nha {
+    use hedgex_automata::{CharClass, Regex};
+    use hedgex_ha::NhaBuilder;
+    let a = ab.sym("a");
+    let b = ab.sym("b");
+    let mut nb = NhaBuilder::new(k as u32 + 1);
+    nb.rule(b, Regex::Epsilon, 0);
+    let any = Regex::class(CharClass::<u32>::any()).star();
+    for i in 0..k as u32 {
+        // α(a, w) ∋ i+1 iff w contains a child in state i.
+        nb.rule(
+            a,
+            any.clone().concat(Regex::sym(i)).concat(any.clone()),
+            i + 1,
+        );
+    }
+    // Accept hedges with a top-level node holding a b at depth exactly k.
+    nb.finals(any.clone().concat(Regex::sym(k as u32)).concat(any));
+    nb.build()
+}
+
+/// The tame schema-like NHA family for E2: a document grammar with `k`
+/// distinct section levels (deterministic bottom-up in practice).
+pub fn layered_schema_nha(k: usize, ab: &mut Alphabet) -> hedgex_ha::Nha {
+    use hedgex_automata::Regex;
+    use hedgex_ha::NhaBuilder;
+    let para = ab.sym("para");
+    let levels: Vec<_> = (0..k)
+        .map(|i| ab.sym(&format!("sec{i}")))
+        .collect();
+    // State i = a level-i section; state k = a para.
+    let mut nb = NhaBuilder::new(k as u32 + 1);
+    nb.rule(para, Regex::Epsilon, k as u32);
+    for (i, &sym) in levels.iter().enumerate() {
+        // A level-i section contains level-(i+1) sections or paras.
+        let inner = if i + 1 < k {
+            Regex::sym(i as u32 + 1).alt(Regex::sym(k as u32)).star()
+        } else {
+            Regex::sym(k as u32).star()
+        };
+        nb.rule(sym, inner, i as u32);
+    }
+    nb.finals(Regex::sym(0u32).star());
+    nb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_core::phr_compile::CompiledPhr;
+    use hedgex_core::two_pass;
+    use hedgex_ha::determinize;
+
+    #[test]
+    fn workload_builds_and_query_runs() {
+        let mut w = doc_workload(2000, 1);
+        let phr = figure_before_table_phr(&mut w.ab);
+        let compiled = CompiledPhr::compile(&phr);
+        let hits = two_pass::locate(&compiled, &w.doc);
+        // Sanity: some figures precede tables in a 2k-node document.
+        assert!(!hits.is_empty(), "expected at least one match");
+        // And they are all figures.
+        let fig = w.ab.get_sym("figure").unwrap();
+        for n in hits {
+            assert_eq!(
+                w.doc.label(n),
+                hedgex_hedge::flat::FlatLabel::Sym(fig)
+            );
+        }
+    }
+
+    #[test]
+    fn path_query_runs() {
+        let mut w = doc_workload(2000, 2);
+        let p = figure_path(&mut w.ab);
+        let hits = p.locate(&w.doc);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn blowup_family_blows_up() {
+        let mut ab = Alphabet::new();
+        let n3 = depth_memory_nha(3, &mut ab);
+        let n5 = depth_memory_nha(5, &mut ab);
+        let d3 = determinize(&n3).dha.num_states();
+        let d5 = determinize(&n5).dha.num_states();
+        // Observed: 2^k + 1 determinized states.
+        assert!(d3 >= 8, "d3={d3}");
+        assert!(d5 >= 32, "d3={d3} d5={d5}");
+    }
+
+    #[test]
+    fn blowup_family_language_is_right() {
+        let mut ab = Alphabet::new();
+        let n = depth_memory_nha(2, &mut ab);
+        let a = ab.get_sym("a").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        use hedgex_hedge::Hedge;
+        // a⟨a⟨b⟩⟩: b at depth 2 ✓.
+        let good = Hedge::node(a, Hedge::node(a, Hedge::leaf(b)));
+        assert!(n.accepts(&good));
+        // a⟨b⟩: depth 1 ✗; b alone: depth 0 ✗.
+        assert!(!n.accepts(&Hedge::node(a, Hedge::leaf(b))));
+        assert!(!n.accepts(&Hedge::leaf(b)));
+        // A node holding depths {1, 2} still accepts via 2.
+        let mixed = Hedge::node(
+            a,
+            Hedge::leaf(b).concat(Hedge::node(a, Hedge::leaf(b))),
+        );
+        assert!(n.accepts(&mixed));
+    }
+
+    #[test]
+    fn tame_family_stays_small() {
+        let mut ab = Alphabet::new();
+        let n = layered_schema_nha(10, &mut ab);
+        let d = determinize(&n).dha.num_states();
+        assert!(d <= 2 * 12, "d={d}");
+    }
+}

@@ -1,0 +1,379 @@
+//! Classical path expressions and Section 8's simplified construction.
+//!
+//! A path expression is a regular expression over node conditions read
+//! *root-to-node* — the paper's `(section*, figure)` example. As Section 5
+//! observes, it is exactly a pointed hedge representation whose elder and
+//! younger conditions are all universal; and as Section 8's closing
+//! construction shows, in that degenerate case the whole `(Q*/≡) × Σ ×
+//! (Q*/≡)` machinery collapses: `≡` has a single class, `Σ` suffices as the
+//! alphabet, and the match-identifying automaton shrinks to
+//! `(S × Σ) ∪ {⊥}` states.
+//!
+//! This module provides the direct evaluator (one top-down traversal), the
+//! embedding into PHRs (for the E8 ablation benchmark), and the simplified
+//! match-identifying NHA.
+//!
+//! Concrete syntax: HRE-style regex over names, e.g. `sec* fig`,
+//! `(chap|app) sec fig?`.
+
+use std::collections::HashMap;
+
+use hedgex_automata::{CharClass, DenseDfa, Dfa, Nfa, Regex};
+use hedgex_ha::{HState, Leaf, Nha};
+use hedgex_hedge::flat::FlatLabel;
+use hedgex_hedge::{Alphabet, FlatHedge, NodeId, SubId, SymId, VarId};
+
+use crate::hre::{Hre, HreParseError};
+use crate::phr::{Pbhr, Phr};
+
+/// A classical path expression: a regular expression over Σ, read from the
+/// root down to the located node (inclusive).
+#[derive(Debug, Clone)]
+pub struct PathExpr {
+    /// The top-down regex.
+    pub regex: Regex<SymId>,
+}
+
+impl PathExpr {
+    /// Locate all matching nodes with a single top-down traversal: a node
+    /// is located iff the DFA accepts the label path from its top-level
+    /// ancestor down to itself.
+    pub fn locate(&self, h: &FlatHedge) -> Vec<NodeId> {
+        let dfa = Nfa::from_regex(&self.regex).to_dfa();
+        // Compile against the labels that actually occur.
+        let mut labels: Vec<SymId> = h
+            .preorder()
+            .filter_map(|n| match h.label(n) {
+                FlatLabel::Sym(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        labels.sort();
+        labels.dedup();
+        let dense = DenseDfa::compile(&dfa, &labels);
+        let mut located = Vec::new();
+        let mut state: Vec<u32> = vec![0; h.num_nodes()];
+        for n in h.preorder() {
+            let FlatLabel::Sym(a) = h.label(n) else {
+                continue;
+            };
+            let from = match h.parent(n) {
+                None => dense.start(),
+                Some(p) => state[p as usize],
+            };
+            let s = dense.step(from, &a);
+            state[n as usize] = s;
+            if dense.is_accepting(s) {
+                located.push(n);
+            }
+        }
+        located
+    }
+
+    /// Embed into a pointed hedge representation with universal sibling
+    /// conditions (one triplet per Σ symbol, regex mirrored into the
+    /// bottom-up decomposition order). `sigma`/`vars` is the document
+    /// alphabet the universal expressions must cover; `z` is a scratch
+    /// substitution symbol.
+    pub fn to_phr(&self, sigma: &[SymId], vars: &[VarId], z: SubId) -> Phr {
+        let universal = Hre::universal(sigma, vars, z);
+        let triplets: Vec<Pbhr> = sigma
+            .iter()
+            .map(|&a| Pbhr {
+                elder: universal.clone(),
+                label: a,
+                younger: universal.clone(),
+            })
+            .collect();
+        let idx: HashMap<SymId, u32> = sigma
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
+        // Path regexes are top-down; PHR decomposition order is bottom-up.
+        let regex = self.regex.reverse().substitute(&mut |c: &CharClass<SymId>| {
+            Regex::any_of(
+                sigma
+                    .iter()
+                    .filter(|a| c.contains(a))
+                    .map(|a| Regex::sym(idx[a])),
+            )
+        });
+        Phr { triplets, regex }
+    }
+
+    /// Section 8's simplified match-identifying automaton for path
+    /// expressions: states `(S × Σ) ∪ {⊥}`, no equivalence classes.
+    pub fn match_identifying_nha(&self, sigma: &[SymId], vars: &[VarId]) -> PathMarkUp {
+        let n: Dfa<SymId> = Nfa::from_regex(&self.regex).to_dfa();
+        let ns = n.num_states() as u32;
+        let mut sigma = sigma.to_vec();
+        sigma.sort();
+        sigma.dedup();
+        let na = sigma.len() as u32;
+        // Id 0 = ⊥; then 1 + s·|Σ| + a.
+        let triple = |s: u32, ai: u32| 1 + s * na + ai;
+        let num_states = 1 + ns * na;
+
+        let mut iota: HashMap<Leaf, Vec<HState>> = HashMap::new();
+        for &x in vars {
+            iota.insert(Leaf::Var(x), vec![0]);
+        }
+
+        // Allowed children of a node in N-state s: ⊥ or (μ(s, a'), a').
+        let allowed = |s: u32| -> Regex<HState> {
+            let mut ids: Vec<HState> = vec![0];
+            for (ai, &a) in sigma.iter().enumerate() {
+                ids.push(triple(n.step(s, &a), ai as u32));
+            }
+            Regex::class(CharClass::of(ids)).star()
+        };
+
+        let mut rules: HashMap<SymId, Vec<(Dfa<HState>, HState)>> = HashMap::new();
+        for (ai, &a) in sigma.iter().enumerate() {
+            for s in 0..ns {
+                let lang = Nfa::from_regex(&allowed(s)).to_dfa();
+                rules
+                    .entry(a)
+                    .or_default()
+                    .push((lang, triple(s, ai as u32)));
+            }
+        }
+        let finals = Nfa::from_regex(&allowed(n.start()));
+        let marked: Vec<bool> = (0..num_states)
+            .map(|id| {
+                if id == 0 {
+                    false
+                } else {
+                    n.is_accepting((id - 1) / na)
+                }
+            })
+            .collect();
+        PathMarkUp {
+            nha: Nha::from_parts(num_states, iota, rules, finals),
+            marked,
+        }
+    }
+}
+
+/// The simplified match-identifying automaton of Section 8's last display.
+pub struct PathMarkUp {
+    /// The automaton; accepts every hedge over its alphabet, one successful
+    /// computation each.
+    pub nha: Nha,
+    /// Marked states `S_fin × Σ`.
+    pub marked: Vec<bool>,
+}
+
+impl PathMarkUp {
+    /// Locate via constrained acceptance (test/verification path; linear
+    /// evaluation is [`PathExpr::locate`]).
+    pub fn locate(&self, h: &FlatHedge) -> Vec<NodeId> {
+        h.preorder()
+            .filter(|&n| {
+                matches!(h.label(n), FlatLabel::Sym(_))
+                    && self.nha.accepts_flat_filtered(h, &|id, q| {
+                        id != n || self.marked[q as usize]
+                    })
+            })
+            .collect()
+    }
+}
+
+/// Parse a path expression (HRE-style regex over bare names; `$`, `<`, `%`
+/// are not allowed).
+pub fn parse_path(src: &str, ab: &mut Alphabet) -> Result<PathExpr, HreParseError> {
+    let mut p = PathParser { src, pos: 0, ab };
+    let regex = p.alt()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(HreParseError {
+            pos: p.pos,
+            msg: "trailing input".into(),
+        });
+    }
+    Ok(PathExpr { regex })
+}
+
+struct PathParser<'a, 'b> {
+    src: &'a str,
+    pos: usize,
+    ab: &'b mut Alphabet,
+}
+
+impl PathParser<'_, '_> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+    fn err(&self, msg: impl Into<String>) -> HreParseError {
+        HreParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+    fn alt(&mut self) -> Result<Regex<SymId>, HreParseError> {
+        let mut e = self.seq()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                e = e.alt(self.seq()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+    fn seq(&mut self) -> Result<Regex<SymId>, HreParseError> {
+        let mut e = self.factor()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(')') | Some('|') => return Ok(e),
+                _ => e = e.concat(self.factor()?),
+            }
+        }
+    }
+    fn factor(&mut self) -> Result<Regex<SymId>, HreParseError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    e = e.star();
+                }
+                Some('+') => {
+                    self.bump();
+                    e = e.plus();
+                }
+                Some('?') => {
+                    self.bump();
+                    e = e.opt();
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+    fn atom(&mut self) -> Result<Regex<SymId>, HreParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let e = self.alt()?;
+                self.skip_ws();
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(c) if !"|*+?)".contains(c) => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c)
+                    if !c.is_whitespace() && !"()|*+?".contains(c))
+                {
+                    self.bump();
+                }
+                if self.pos == start {
+                    return Err(self.err("expected a name"));
+                }
+                let name = self.src[start..self.pos].to_string();
+                Ok(Regex::sym(self.ab.sym(&name)))
+            }
+            _ => Err(self.err("expected an atom")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phr_compile::CompiledPhr;
+    use crate::two_pass;
+    use hedgex_ha::enumerate::enumerate_hedges;
+    use hedgex_hedge::parse_hedge;
+
+    #[test]
+    fn paper_intro_example() {
+        // (section*, figure): figures at any section depth.
+        let mut ab = Alphabet::new();
+        let p = parse_path("sec* fig", &mut ab).unwrap();
+        let h = parse_hedge("sec<fig sec<fig> par> fig par<fig>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        // Nodes: 0 sec, 1 fig✓, 2 sec, 3 fig✓, 4 par, 5 fig✓(top), 6 par,
+        // 7 fig✗ (under par).
+        assert_eq!(p.locate(&f), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn path_as_phr_agrees_with_direct() {
+        let mut ab = Alphabet::new();
+        let p = parse_path("a* b", &mut ab).unwrap();
+        ab.sym("c");
+        let z = ab.sub("zz");
+        let syms: Vec<_> = ab.syms().collect();
+        let vars: Vec<_> = ab.vars().collect();
+        let phr = p.to_phr(&syms, &vars, z);
+        let compiled = CompiledPhr::compile(&phr);
+        for h in enumerate_hedges(&syms, &[], 5) {
+            let f = FlatHedge::from_hedge(&h);
+            assert_eq!(
+                two_pass::locate(&compiled, &f),
+                p.locate(&f),
+                "PHR embedding disagrees on {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simplified_mark_up_agrees_with_direct() {
+        let mut ab = Alphabet::new();
+        let p = parse_path("(a|b)* b", &mut ab).unwrap();
+        let syms: Vec<_> = ab.syms().collect();
+        let vars: Vec<_> = ab.vars().collect();
+        let mu = p.match_identifying_nha(&syms, &vars);
+        for h in enumerate_hedges(&syms, &vars, 4) {
+            let f = FlatHedge::from_hedge(&h);
+            assert!(mu.nha.accepts_flat(&f), "must accept {h:?}");
+            assert_eq!(mu.locate(&f), p.locate(&f), "marking disagrees on {h:?}");
+        }
+    }
+
+    #[test]
+    fn xpath_inexpressible_example() {
+        // Section 2: `a*` ("all ancestors are a, node is a") is a path
+        // expression here even though XPath cannot express it.
+        let mut ab = Alphabet::new();
+        let p = parse_path("a* a", &mut ab).unwrap();
+        let h = parse_hedge("a<a<a> b<a>> b<a>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(p.locate(&f), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn alternation_and_opt() {
+        let mut ab = Alphabet::new();
+        let p = parse_path("(a|b) c?", &mut ab).unwrap();
+        let h = parse_hedge("a<c> b c<c>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        // a(0)✓, c under a(1)✓, b(2)✓, c(3)✗ top-level, c(4)✗ under c.
+        assert_eq!(p.locate(&f), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut ab = Alphabet::new();
+        assert!(parse_path("(a", &mut ab).is_err());
+        assert!(parse_path("*", &mut ab).is_err());
+        assert!(parse_path("a)", &mut ab).is_err());
+    }
+}

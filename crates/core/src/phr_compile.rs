@@ -1,0 +1,412 @@
+//! Theorem 4: compiling a pointed hedge representation into the evaluation
+//! triplet `(M, ≡, L)`.
+//!
+//! * `M` — one deterministic hedge automaton shared by every `e_{i1}`,
+//!   `e_{i2}` of the representation. The paper's "without loss of
+//!   generality they share `Q`, `ι`, `α`" is realized by the cross product
+//!   of the individually compiled automata (`product_many`), with each
+//!   original final set lifted to the product states.
+//! * `≡` — a right-invariant equivalence of finite index over `Q*`
+//!   saturating every lifted final set ([`SaturatingClasses`]): its classes
+//!   are the states of the product DFA tracking all the `F_{ij}` at once.
+//! * `L` — the regular set over `(Q*/≡) × Σ × (Q*/≡)` obtained from the
+//!   PHR's regex by the homomorphism `ξ` (Theorem 4). The cubic concrete
+//!   alphabet is never materialized: a concrete symbol `(C₁, a, C₂)` is
+//!   represented by its *signature* — the set of triplets it satisfies —
+//!   and the mirror automaton `N` is determinized lazily over signatures
+//!   as evaluation encounters them.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use hedgex_automata::{Nfa, SaturatingClasses, StateId};
+use hedgex_ha::product::product_many;
+use hedgex_ha::{determinize, Dha, HState};
+use hedgex_hedge::SymId;
+
+use crate::compile::compile_hre;
+use crate::phr::Phr;
+
+/// A signature: the set of triplets a concrete `(C₁, a, C₂)` symbol
+/// satisfies, as a bitmask (PHRs are limited to 64 triplets).
+pub type SigMask = u64;
+
+/// The compiled form of a pointed hedge representation (Theorem 4).
+pub struct CompiledPhr {
+    /// The shared deterministic hedge automaton `M` (its `F` is unused, as
+    /// in the theorem's `(Σ, X, Q, α, ι, ∅)`).
+    pub m: Dha,
+    /// The right-invariant equivalence `≡`: classes are its states; member
+    /// languages `2i` / `2i+1` are the lifted `F_{i1}` / `F_{i2}`.
+    pub classes: SaturatingClasses<HState>,
+    /// Triplet labels `a_i`.
+    labels: Vec<SymId>,
+    /// The mirror automaton `N` over signatures, determinized lazily.
+    n: MirrorDfa,
+}
+
+impl CompiledPhr {
+    /// Compile a PHR. Exponential-time preprocessing (determinization of
+    /// the component automata and of `≡`), as Section 7 states; evaluation
+    /// afterwards is linear per hedge.
+    pub fn compile(phr: &Phr) -> CompiledPhr {
+        assert!(
+            phr.triplets.len() <= 64,
+            "pointed hedge representations are limited to 64 triplets"
+        );
+        // Compile every e_i1, e_i2 and take the shared product.
+        let dhas: Vec<Dha> = phr
+            .triplets
+            .iter()
+            .flat_map(|t| [&t.elder, &t.younger])
+            .map(|e| determinize(&compile_hre(e)).dha)
+            .collect();
+        let refs: Vec<&Dha> = dhas.iter().collect();
+        let prod = product_many(&refs);
+        let alphabet: Vec<HState> = (0..prod.dha.num_states()).collect();
+        let classes = SaturatingClasses::build(&prod.lifted_finals, &alphabet);
+        let labels: Vec<SymId> = phr.triplets.iter().map(|t| t.label).collect();
+        // N accepts the mirror of L: reverse the triplet regex, then read it
+        // top-down during the second traversal.
+        let n = MirrorDfa::new(Nfa::from_regex(&phr.regex).reverse());
+        CompiledPhr {
+            m: prod.dha,
+            classes,
+            labels,
+            n,
+        }
+    }
+
+    /// Number of triplets.
+    pub fn num_triplets(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The signature of a concrete symbol `(C₁, a, C₂)`: which triplets
+    /// `(e_{i1}, a_i, e_{i2})` does it satisfy? By saturation, membership
+    /// of the elder/younger words in `F_{i1}`/`F_{i2}` is a function of
+    /// their classes — this is exactly the homomorphism `ξ` of Theorem 4,
+    /// evaluated pointwise.
+    pub fn signature(&self, c1: u32, a: SymId, c2: u32) -> SigMask {
+        let mut mask = 0u64;
+        for (i, &label) in self.labels.iter().enumerate() {
+            if label == a
+                && self.classes.class_in_lang(c1, 2 * i)
+                && self.classes.class_in_lang(c2, 2 * i + 1)
+            {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Step the mirror automaton `N` (used top-down by Algorithm 1).
+    pub fn n_step(&self, s: u32, sig: SigMask) -> u32 {
+        self.n.step(s, sig)
+    }
+
+    /// `N`'s start state.
+    pub fn n_start(&self) -> u32 {
+        self.n.start()
+    }
+
+    /// Is `s` a final state of `N` (i.e. the decomposition read so far, in
+    /// mirror order, spells a word of `L`)?
+    pub fn n_accepting(&self, s: u32) -> bool {
+        self.n.is_accepting(s)
+    }
+
+    /// Materialize `N` as an explicit table over all signatures reachable
+    /// from the class space — the finite `(S, μ, s₀, S_fin)` of Theorem 4,
+    /// needed by the Theorem 5 construction. Returns the explicit automaton
+    /// and the list of distinct signatures (its alphabet).
+    pub fn explicit_n(&self) -> (ExplicitN, Vec<SigMask>) {
+        // Enumerate every signature the class space can produce.
+        let mut sigs: Vec<SigMask> = Vec::new();
+        let mut seen: HashMap<SigMask, u32> = HashMap::new();
+        let ncl = self.classes.num_classes() as u32;
+        for c1 in 0..ncl {
+            for &a in &{
+                let mut ls = self.labels.clone();
+                ls.sort();
+                ls.dedup();
+                ls
+            } {
+                for c2 in 0..ncl {
+                    let s = self.signature(c1, a, c2);
+                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(s) {
+                        e.insert(sigs.len() as u32);
+                        sigs.push(s);
+                    }
+                }
+            }
+        }
+        // The all-zero signature must exist (symbols matching no triplet).
+        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(0) {
+            e.insert(sigs.len() as u32);
+            sigs.push(0);
+        }
+        // Determinize N against this closed signature alphabet.
+        let mut states: HashMap<Vec<StateId>, u32> = HashMap::new();
+        let mut order: Vec<Vec<StateId>> = Vec::new();
+        let mut work: Vec<u32> = Vec::new();
+        let start_set = self.n.nfa.eps_closure(&[self.n.nfa.start()]);
+        states.insert(start_set.clone(), 0);
+        order.push(start_set);
+        work.push(0);
+        let width = sigs.len();
+        let mut table: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        while let Some(id) = work.pop() {
+            let cur = order[id as usize].clone();
+            if table.len() < order.len() * width {
+                table.resize(order.len() * width, 0);
+            }
+            for (j, &sig) in sigs.iter().enumerate() {
+                let next = self.n.move_set(&cur, sig);
+                let fresh = order.len() as u32;
+                let tid = *states.entry(next.clone()).or_insert_with(|| {
+                    order.push(next);
+                    work.push(fresh);
+                    fresh
+                });
+                table[id as usize * width + j] = tid;
+            }
+        }
+        if table.len() < order.len() * width {
+            table.resize(order.len() * width, 0);
+        }
+        for set in &order {
+            accept.push(set.iter().any(|&q| self.n.nfa.is_accepting(q)));
+        }
+        let sig_idx = seen;
+        (
+            ExplicitN {
+                table,
+                accept,
+                width,
+                sig_idx,
+            },
+            sigs,
+        )
+    }
+}
+
+/// `N` as an explicit dense table over a closed signature alphabet
+/// (Theorem 4's `(S, μ, s₀, S_fin)` with `s₀ = 0`).
+pub struct ExplicitN {
+    table: Vec<u32>,
+    accept: Vec<bool>,
+    width: usize,
+    sig_idx: HashMap<SigMask, u32>,
+}
+
+impl ExplicitN {
+    /// Number of states `|S|`.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// `μ(sig, s)`.
+    pub fn step(&self, s: u32, sig: SigMask) -> u32 {
+        let j = *self
+            .sig_idx
+            .get(&sig)
+            .unwrap_or_else(|| &self.sig_idx[&0]);
+        self.table[s as usize * self.width + j as usize]
+    }
+
+    /// The start state `s₀`.
+    pub fn start(&self) -> u32 {
+        0
+    }
+
+    /// Is `s ∈ S_fin`?
+    pub fn is_accepting(&self, s: u32) -> bool {
+        self.accept[s as usize]
+    }
+}
+
+/// The mirror automaton, determinized lazily over signature masks.
+///
+/// States are interned ε-closed subsets of the reversed triplet NFA;
+/// transitions are discovered (and memoized) as evaluation encounters
+/// `(state, signature)` pairs, so the concrete cubic alphabet of Theorem 4
+/// never has to be enumerated for evaluation.
+struct MirrorDfa {
+    nfa: Nfa<u32>,
+    inner: RefCell<MirrorInner>,
+}
+
+struct MirrorInner {
+    states: HashMap<Vec<StateId>, u32>,
+    order: Vec<Vec<StateId>>,
+    accept: Vec<bool>,
+    memo: HashMap<(u32, SigMask), u32>,
+}
+
+impl MirrorDfa {
+    fn new(nfa: Nfa<u32>) -> MirrorDfa {
+        let start = nfa.eps_closure(&[nfa.start()]);
+        let accept0 = start.iter().any(|&q| nfa.is_accepting(q));
+        MirrorDfa {
+            nfa,
+            inner: RefCell::new(MirrorInner {
+                states: HashMap::from([(start.clone(), 0)]),
+                order: vec![start],
+                accept: vec![accept0],
+                memo: HashMap::new(),
+            }),
+        }
+    }
+
+    fn start(&self) -> u32 {
+        0
+    }
+
+    fn is_accepting(&self, s: u32) -> bool {
+        self.inner.borrow().accept[s as usize]
+    }
+
+    /// One NFA-subset move by a signature (any triplet in the mask fires).
+    fn move_set(&self, cur: &[StateId], sig: SigMask) -> Vec<StateId> {
+        let mut moved = std::collections::BTreeSet::new();
+        for &q in cur {
+            for (c, t) in self.nfa.transitions(q) {
+                let fires = (0..64)
+                    .filter(|i| sig & (1 << i) != 0)
+                    .any(|i| c.contains(&(i as u32)));
+                if fires {
+                    moved.insert(*t);
+                }
+            }
+        }
+        self.nfa
+            .eps_closure(&moved.into_iter().collect::<Vec<_>>())
+    }
+
+    fn step(&self, s: u32, sig: SigMask) -> u32 {
+        if let Some(&t) = self.inner.borrow().memo.get(&(s, sig)) {
+            return t;
+        }
+        let cur = self.inner.borrow().order[s as usize].clone();
+        let next = self.move_set(&cur, sig);
+        let mut inner = self.inner.borrow_mut();
+        let fresh = inner.order.len() as u32;
+        let tid = match inner.states.entry(next.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(fresh);
+                inner.order.push(next.clone());
+                inner
+                    .accept
+                    .push(next.iter().any(|&q| self.nfa.is_accepting(q)));
+                fresh
+            }
+        };
+        inner.memo.insert((s, sig), tid);
+        tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phr::parse_phr;
+    use hedgex_hedge::Alphabet;
+
+    #[test]
+    fn classes_saturate_triplet_languages() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a]", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        // Elder language a*, younger language a (exactly one a leaf tree).
+        let a = ab.get_sym("a").unwrap();
+        let f = hedgex_hedge::FlatHedge::from_hedge(&hedgex_hedge::Hedge::leaf(a));
+        let qa = c.m.run(&f)[0];
+        let eps_class = c.classes.class_of(&[]);
+        let a_class = c.classes.class_of(&[qa]);
+        let aa_class = c.classes.class_of(&[qa, qa]);
+        // ε ∈ a*, ∉ a; a ∈ both; aa ∈ a*, ∉ a.
+        assert!(c.classes.class_in_lang(eps_class, 0));
+        assert!(!c.classes.class_in_lang(eps_class, 1));
+        assert!(c.classes.class_in_lang(a_class, 0));
+        assert!(c.classes.class_in_lang(a_class, 1));
+        assert!(c.classes.class_in_lang(aa_class, 0));
+        assert!(!c.classes.class_in_lang(aa_class, 1));
+    }
+
+    #[test]
+    fn signature_reflects_triplet_satisfaction() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a]|[ε ; b ; a*]", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        let a = ab.get_sym("a").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        let f = hedgex_hedge::FlatHedge::from_hedge(&hedgex_hedge::Hedge::leaf(a));
+        let qa = c.m.run(&f)[0];
+        let eps = c.classes.class_of(&[]);
+        let one = c.classes.class_of(&[qa]);
+        // (ε, b, a): triplet 0 (a* elder ∋ ε, a younger ∋ a) and triplet 1.
+        assert_eq!(c.signature(eps, b, one), 0b11);
+        // (a, b, ε): triplet 0 needs younger = a → no; triplet 1 needs
+        // elder ε → no.
+        assert_eq!(c.signature(one, b, eps), 0b00);
+        // Wrong label.
+        assert_eq!(c.signature(eps, a, one), 0b00);
+    }
+
+    #[test]
+    fn mirror_dfa_reads_topdown() {
+        // PHR = [ε;a;ε][ε;b;ε] (innermost a, then b above). Mirror order:
+        // b then a.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; ε][ε ; b ; ε]", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        let s0 = c.n_start();
+        // Triplet 0 = the a-triplet, triplet 1 = the b-triplet.
+        let s1 = c.n_step(s0, 0b10); // read the b triplet first (topmost)
+        assert!(!c.n_accepting(s1));
+        let s2 = c.n_step(s1, 0b01);
+        assert!(c.n_accepting(s2));
+        // Wrong order dies.
+        let w1 = c.n_step(s0, 0b01);
+        let w2 = c.n_step(w1, 0b10);
+        assert!(!c.n_accepting(w2));
+    }
+
+    #[test]
+    fn explicit_n_agrees_with_lazy() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("([a* ; b ; a*]|[ε ; a ; ε])*", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        let (en, sigs) = c.explicit_n();
+        // Walk every signature string up to length 3 (over the achievable
+        // alphabet) through both automata.
+        let mut words: Vec<Vec<SigMask>> = vec![vec![]];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for w in &words {
+                for &s in &sigs {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            words.extend(next);
+        }
+        for word in words {
+            let mut lazy = c.n_start();
+            let mut expl = en.start();
+            for &sig in &word {
+                lazy = c.n_step(lazy, sig);
+                expl = en.step(expl, sig);
+            }
+            assert_eq!(
+                c.n_accepting(lazy),
+                en.is_accepting(expl),
+                "disagreement on {word:?} (alphabet {sigs:?})"
+            );
+        }
+    }
+}

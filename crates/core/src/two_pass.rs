@@ -1,0 +1,239 @@
+//! Algorithm 1 (Section 7): locating PHR matches with two depth-first
+//! traversals, in time linear in the number of nodes.
+//!
+//! **First traversal** (bottom-up): run the shared automaton `M` to get
+//! every node's state, then compute for every node the ≡-class of its
+//! elder-sibling state word and of its younger-sibling state word.
+//!
+//! Elder classes are a left-to-right prefix scan (right-invariance: extend
+//! the class by one state at a time). Younger classes are *suffix* classes,
+//! and a DFA only reads left-to-right — restarting it at every position
+//! would make the traversal quadratic (the hidden cost in the paper's
+//! "we start computing an element of Q*/≡ … and so forth"). This
+//! implementation keeps it linear by composing transition *functions*
+//! right-to-left: `f_j = δ_{q_j} ∘ f_{j+1}` is a class-indexed table, and
+//! the class of the suffix starting at `j` is `f_j(start)`.
+//!
+//! **Second traversal** (top-down): step the mirror automaton `N` from the
+//! root: a node's `N`-state is `μ(Γ_node, s_parent)` where
+//! `Γ = (elder class, label, younger class)`. A node is located iff its
+//! `N`-state is final — the decomposition of its envelope, read top-down,
+//! spells a mirror-word of `L`.
+
+use hedgex_ha::HState;
+use hedgex_hedge::flat::FlatLabel;
+use hedgex_hedge::{FlatHedge, NodeId};
+
+use crate::phr_compile::CompiledPhr;
+
+/// The per-node artifacts of the first traversal (exposed for tests and for
+/// the match-identifying constructions).
+pub struct FirstPass {
+    /// `M`-state per node.
+    pub states: Vec<HState>,
+    /// ≡-class of the elder-sibling state word, per node.
+    pub elder_class: Vec<u32>,
+    /// ≡-class of the younger-sibling state word, per node.
+    pub younger_class: Vec<u32>,
+}
+
+/// Run the first traversal.
+pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
+    let n = h.num_nodes();
+    let states = phr.m.run(h);
+    let ncl = phr.classes.num_classes();
+    let start = phr.classes.start();
+    let mut elder_class = vec![start; n];
+    let mut younger_class = vec![start; n];
+
+    // Process every sibling group: the roots, and each node's children.
+    let mut group: Vec<NodeId> = Vec::new();
+    let process = |group: &[NodeId],
+                       elder_class: &mut Vec<u32>,
+                       younger_class: &mut Vec<u32>| {
+        // Prefix classes, left to right.
+        let mut c = start;
+        for &id in group {
+            elder_class[id as usize] = c;
+            c = phr.classes.step(c, &states[id as usize]);
+        }
+        // Suffix classes, right to left, by transition-function composition.
+        // f maps "class before reading the suffix" → "class after".
+        let mut f: Vec<u32> = (0..ncl as u32).collect(); // identity
+        for &id in group.iter().rev() {
+            younger_class[id as usize] = f[start as usize];
+            // f := f ∘ δ_q  (read q first, then the old suffix).
+            let delta = phr.classes.step_fn(&states[id as usize]);
+            let mut nf = vec![0u32; ncl];
+            for cls in 0..ncl {
+                nf[cls] = f[delta[cls] as usize];
+            }
+            f = nf;
+        }
+    };
+
+    process(h.roots(), &mut elder_class, &mut younger_class);
+    for id in h.preorder() {
+        if matches!(h.label(id), FlatLabel::Sym(_)) {
+            group.clear();
+            group.extend(h.children(id));
+            if !group.is_empty() {
+                process(&group, &mut elder_class, &mut younger_class);
+            }
+        }
+    }
+
+    FirstPass {
+        states,
+        elder_class,
+        younger_class,
+    }
+}
+
+/// Run both traversals: every node whose envelope matches the PHR, in
+/// document order (Theorem 4 + Algorithm 1).
+pub fn locate(phr: &CompiledPhr, h: &FlatHedge) -> Vec<NodeId> {
+    let fp = first_pass(phr, h);
+    let mut located = Vec::new();
+    // Second traversal: top-down, tracking each Σ-node's N-state.
+    let mut n_state: Vec<u32> = vec![0; h.num_nodes()];
+    for id in h.preorder() {
+        let FlatLabel::Sym(a) = h.label(id) else {
+            continue;
+        };
+        let parent_state = match h.parent(id) {
+            None => phr.n_start(),
+            Some(p) => n_state[p as usize],
+        };
+        let sig = phr.signature(fp.elder_class[id as usize], a, fp.younger_class[id as usize]);
+        let s = phr.n_step(parent_state, sig);
+        n_state[id as usize] = s;
+        if phr.n_accepting(s) {
+            located.push(id);
+        }
+    }
+    located
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phr::parse_phr;
+    use hedgex_ha::enumerate::enumerate_hedges;
+    use hedgex_hedge::{parse_hedge, Alphabet};
+
+    /// Compare Algorithm 1 against the declarative evaluator on every small
+    /// hedge over the PHR's alphabet.
+    fn check_against_naive(phr_src: &str, max_nodes: usize) {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr(phr_src, &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let syms: Vec<_> = ab.syms().collect();
+        let vars: Vec<_> = ab.vars().collect();
+        for h in enumerate_hedges(&syms, &vars, max_nodes) {
+            let f = FlatHedge::from_hedge(&h);
+            let fast = locate(&compiled, &f);
+            let slow = phr.locate_naive(&f);
+            assert_eq!(fast, slow, "{phr_src} disagrees on {h:?}");
+        }
+    }
+
+    #[test]
+    fn single_triplet() {
+        check_against_naive("[ε ; a ; ε]", 4);
+        check_against_naive("[a ; a ; ε]", 4);
+        check_against_naive("[a* ; a ; a*]", 4);
+    }
+
+    #[test]
+    fn two_level_path() {
+        check_against_naive("[ε ; a ; b][b ; a ; ε]", 5);
+    }
+
+    #[test]
+    fn starred_ancestors() {
+        check_against_naive("[a<%z>*^z ; b ; a<%z>*^z]*", 5);
+    }
+
+    #[test]
+    fn alternation_of_triplets() {
+        check_against_naive("([ε ; a ; ε]|[ε ; b ; ε])*", 5);
+    }
+
+    #[test]
+    fn sibling_sensitive_queries() {
+        // η's parent is a, immediately followed by a b sibling — the
+        // introduction's motivating example shape ("all <figure> elements
+        // whose immediately following siblings are …").
+        let u = "(a<%z>|b<%z>)*^z";
+        check_against_naive(&format!("[{u} ; a ; b<{u}> ({u})]"), 5);
+    }
+
+    #[test]
+    fn definition_22_worked_example() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(locate(&compiled, &f), vec![2]);
+    }
+
+    #[test]
+    fn first_pass_classes_are_correct() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a*]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let h = parse_hedge("a a b a", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        let fp = first_pass(&compiled, &f);
+        // Node 2 (the b): elder word = [q_a, q_a], younger = [q_a].
+        let qa = fp.states[0];
+        assert_eq!(fp.elder_class[2], compiled.classes.class_of(&[qa, qa]));
+        assert_eq!(fp.younger_class[2], compiled.classes.class_of(&[qa]));
+        // First node: elder is ε; last node: younger is ε.
+        assert_eq!(fp.elder_class[0], compiled.classes.class_of(&[]));
+        assert_eq!(fp.younger_class[3], compiled.classes.class_of(&[]));
+    }
+
+    #[test]
+    fn suffix_classes_match_direct_runs() {
+        // Cross-check the function-composition trick against direct
+        // left-to-right runs for every suffix.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[(a|b)* a ; b ; b (a|b)*]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let h = parse_hedge("a b b a b a a", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        let fp = first_pass(&compiled, &f);
+        let roots = f.roots();
+        for (i, &id) in roots.iter().enumerate() {
+            let suffix: Vec<HState> = roots[i + 1..]
+                .iter()
+                .map(|&r| fp.states[r as usize])
+                .collect();
+            assert_eq!(
+                fp.younger_class[id as usize],
+                compiled.classes.class_of(&suffix),
+                "suffix class of position {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_hedge_linear_path() {
+        // A deep spine: ancestors must all be b (the Section 5 example),
+        // checked beyond the enumeration bound.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a<%z>*^z ; b ; a<%z>*^z]*", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let b = ab.get_sym("b").unwrap();
+        let mut h = hedgex_hedge::Hedge::leaf(b);
+        for _ in 0..40 {
+            h = hedgex_hedge::Hedge::node(b, h);
+        }
+        let f = FlatHedge::from_hedge(&h);
+        let located = locate(&compiled, &f);
+        assert_eq!(located.len(), 41, "every b on the spine is located");
+    }
+}

@@ -1,0 +1,406 @@
+//! Theorem 1: the subset construction for hedge automata.
+//!
+//! States of the determinized automaton are *sets* of NHA states. The
+//! construction has two intertwined fixpoints:
+//!
+//! 1. discover which subsets are reachable (a subset is reachable when some
+//!    hedge's set-valued computation produces it at a node), and
+//! 2. for each symbol, determinize the *lifted* horizontal automaton, whose
+//!    alphabet is the set of reachable subsets: reading subset `S` means
+//!    "some child state drawn from `S`".
+//!
+//! The lifted horizontal automaton for a symbol is the disjoint union of all
+//! rule DFAs simulated as an NFA (a set of rule-DFA states), because a word
+//! of subsets can satisfy several rules at once — exactly the `{q_p1, q_p2}`
+//! effect in the paper's M₁ example. The worst case is exponential in the
+//! number of NHA states, as Theorem 1 admits; the determinization benchmark
+//! (experiment E2) measures both the blow-up family and the tame typical
+//! case.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use hedgex_automata::{CharClass, Dfa, StateId};
+use hedgex_hedge::SymId;
+
+use crate::dha::{Dha, HorizFn};
+use crate::nha::Nha;
+use crate::types::{HState, Leaf};
+
+/// The result of determinizing: the DHA plus, for every DHA state, the NHA
+/// subset it denotes (index = DHA state id).
+pub struct Determinized {
+    /// The deterministic automaton.
+    pub dha: Dha,
+    /// DHA state → NHA state set.
+    pub subsets: Vec<BTreeSet<HState>>,
+}
+
+/// One symbol's combined rule automaton: all rule DFAs side by side, with
+/// accepting states labelled by the rule's result state.
+struct Combined {
+    /// (rule DFA, result) pairs.
+    rules: Vec<(Dfa<HState>, HState)>,
+}
+
+/// A lifted horizontal state: for each rule, the set of its DFA states the
+/// NFA-simulation may currently be in.
+type Lifted = Vec<BTreeSet<StateId>>;
+
+impl Combined {
+    fn initial(&self) -> Lifted {
+        self.rules
+            .iter()
+            .map(|(d, _)| std::iter::once(d.start()).collect())
+            .collect()
+    }
+
+    /// Step the lifted state by a subset of NHA states.
+    fn step(&self, cur: &Lifted, subset: &BTreeSet<HState>) -> Lifted {
+        self.rules
+            .iter()
+            .zip(cur)
+            .map(|((d, _), states)| {
+                let mut next = BTreeSet::new();
+                for &s in states {
+                    for q in subset {
+                        next.insert(d.step(s, q));
+                    }
+                }
+                next
+            })
+            .collect()
+    }
+
+    /// The result subset at a lifted state: which rules can accept here.
+    fn results(&self, cur: &Lifted) -> BTreeSet<HState> {
+        self.rules
+            .iter()
+            .zip(cur)
+            .filter(|((d, _), states)| states.iter().any(|&s| d.is_accepting(s)))
+            .map(|((_, q), _)| *q)
+            .collect()
+    }
+}
+
+/// Convert a non-deterministic hedge automaton into a deterministic one
+/// accepting the same language (Theorem 1).
+pub fn determinize(nha: &Nha) -> Determinized {
+    // Interned subsets. Id 0 is the empty subset (the sink).
+    let mut ids: HashMap<BTreeSet<HState>, HState> = HashMap::new();
+    let mut subsets: Vec<BTreeSet<HState>> = Vec::new();
+    let mut intern = |set: BTreeSet<HState>,
+                      subsets: &mut Vec<BTreeSet<HState>>|
+     -> HState {
+        *ids.entry(set.clone()).or_insert_with(|| {
+            subsets.push(set);
+            (subsets.len() - 1) as HState
+        })
+    };
+    intern(BTreeSet::new(), &mut subsets);
+
+    // Leaf subsets.
+    let mut iota: HashMap<Leaf, HState> = HashMap::new();
+    for (leaf, qs) in nha.iotas() {
+        let set: BTreeSet<HState> = qs.iter().copied().collect();
+        iota.insert(leaf, intern(set, &mut subsets));
+    }
+
+    let combined: Vec<(SymId, Combined)> = nha
+        .symbols()
+        .map(|a| {
+            (
+                a,
+                Combined {
+                    rules: nha.rules(a).to_vec(),
+                },
+            )
+        })
+        .collect();
+
+    // Fixpoint: discover all reachable subsets.
+    loop {
+        let before = subsets.len();
+        for (_, comb) in &combined {
+            // BFS over lifted states, reading any currently-known subset.
+            let mut seen: BTreeSet<Lifted> = BTreeSet::new();
+            let mut work = vec![comb.initial()];
+            seen.insert(comb.initial());
+            while let Some(cur) = work.pop() {
+                let res = comb.results(&cur);
+                intern(res, &mut subsets);
+                // Iterate over a snapshot of known subsets; new ones found
+                // this round are picked up by the outer fixpoint.
+                let snapshot = subsets.len();
+                #[allow(clippy::needless_range_loop)] // interning mutates the indexed vec
+                for i in 0..snapshot {
+                    let next = comb.step(&cur, &subsets[i].clone());
+                    if seen.insert(next.clone()) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+        if subsets.len() == before {
+            break;
+        }
+    }
+
+    let num_states = subsets.len() as u32;
+
+    // Build each symbol's horizontal function against the final subset list.
+    let mut horiz: HashMap<SymId, HorizFn> = HashMap::new();
+    for (a, comb) in &combined {
+        let (dfa, labels) = lift_to_dfa(comb, &subsets, &mut |set| {
+            *ids.get(set).expect("fixpoint interned every result subset")
+        });
+        horiz.insert(*a, HorizFn::from_labeled_dfa(&dfa, &labels, num_states));
+    }
+
+    // Lift F: the determinized automaton accepts iff some word drawn from
+    // the per-root subsets is accepted by the NHA's F.
+    let finals = lift_finals(nha, &subsets);
+
+    Determinized {
+        dha: Dha::from_parts(num_states, 0, iota, horiz, finals),
+        subsets,
+    }
+}
+
+/// Determinize a combined rule automaton against the (now fixed) subset
+/// alphabet, producing a total `Dfa` over subset ids plus a result label
+/// (a subset id) per DFA state.
+fn lift_to_dfa(
+    comb: &Combined,
+    subsets: &[BTreeSet<HState>],
+    lookup: &mut impl FnMut(&BTreeSet<HState>) -> HState,
+) -> (Dfa<HState>, Vec<HState>) {
+    let mut ids: HashMap<Lifted, StateId> = HashMap::new();
+    let mut order: Vec<Lifted> = Vec::new();
+    let mut work: Vec<StateId> = Vec::new();
+    let mut intern = |l: Lifted, order: &mut Vec<Lifted>, work: &mut Vec<StateId>| -> StateId {
+        *ids.entry(l.clone()).or_insert_with(|| {
+            order.push(l);
+            work.push((order.len() - 1) as StateId);
+            (order.len() - 1) as StateId
+        })
+    };
+    let start = intern(comb.initial(), &mut order, &mut work);
+    let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::new();
+    while let Some(id) = work.pop() {
+        let cur = order[id as usize].clone();
+        // Group subset-symbols by target lifted state.
+        let mut by_target: BTreeMap<Vec<(StateId, Vec<StateId>)>, Vec<HState>> = BTreeMap::new();
+        let mut targets: HashMap<HState, Lifted> = HashMap::new();
+        for (i, subset) in subsets.iter().enumerate() {
+            let next = comb.step(&cur, subset);
+            // Key by a canonical encoding for grouping.
+            let key: Vec<(StateId, Vec<StateId>)> = next
+                .iter()
+                .enumerate()
+                .map(|(j, s)| (j as StateId, s.iter().copied().collect()))
+                .collect();
+            by_target.entry(key).or_default().push(i as HState);
+            targets.insert(i as HState, next);
+        }
+        let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
+        let mut covered: BTreeSet<HState> = BTreeSet::new();
+        for (_, syms) in by_target {
+            let tgt = targets[&syms[0]].clone();
+            let tid = intern(tgt, &mut order, &mut work);
+            covered.extend(syms.iter().copied());
+            edges.push((CharClass::of(syms), tid));
+        }
+        // Out-of-alphabet symbols dead-end into the empty lifted state.
+        let dead: Lifted = comb.rules.iter().map(|_| BTreeSet::new()).collect();
+        let dead_id = intern(dead, &mut order, &mut work);
+        edges.push((CharClass::NotIn(covered), dead_id));
+        if trans.len() < order.len() {
+            trans.resize(order.len(), Vec::new());
+        }
+        trans[id as usize] = edges;
+    }
+    if trans.len() < order.len() {
+        trans.resize(order.len(), Vec::new());
+    }
+    for (q, row) in trans.iter_mut().enumerate() {
+        if row.is_empty() {
+            row.push((CharClass::any(), q as StateId));
+        }
+    }
+    let labels: Vec<HState> = order.iter().map(|l| lookup(&comb.results(l))).collect();
+    let accept = vec![false; order.len()]; // acceptance is irrelevant here
+    (Dfa::from_parts(trans, start, accept), labels)
+}
+
+/// Lift the NHA's `F` (an NFA over Q) to a DFA over subset ids: a word of
+/// subsets is accepted iff some choice of representatives is accepted by F.
+fn lift_finals(nha: &Nha, subsets: &[BTreeSet<HState>]) -> Dfa<HState> {
+    let f = nha.finals();
+    let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let mut order: Vec<Vec<StateId>> = Vec::new();
+    let mut work: Vec<StateId> = Vec::new();
+    let mut intern =
+        |set: Vec<StateId>, order: &mut Vec<Vec<StateId>>, work: &mut Vec<StateId>| -> StateId {
+            *ids.entry(set.clone()).or_insert_with(|| {
+                order.push(set);
+                work.push((order.len() - 1) as StateId);
+                (order.len() - 1) as StateId
+            })
+        };
+    let start = intern(f.eps_closure(&[f.start()]), &mut order, &mut work);
+    let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::new();
+    while let Some(id) = work.pop() {
+        let cur = order[id as usize].clone();
+        let mut by_target: BTreeMap<Vec<StateId>, Vec<HState>> = BTreeMap::new();
+        for (i, subset) in subsets.iter().enumerate() {
+            let mut moved: BTreeSet<StateId> = BTreeSet::new();
+            for &s in &cur {
+                for (c, t) in f.transitions(s) {
+                    if subset.iter().any(|q| c.contains(q)) {
+                        moved.insert(*t);
+                    }
+                }
+            }
+            let closed = f.eps_closure(&moved.into_iter().collect::<Vec<_>>());
+            by_target.entry(closed).or_default().push(i as HState);
+        }
+        let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
+        let mut covered: BTreeSet<HState> = BTreeSet::new();
+        for (tgt, syms) in by_target {
+            let tid = intern(tgt, &mut order, &mut work);
+            covered.extend(syms.iter().copied());
+            edges.push((CharClass::of(syms), tid));
+        }
+        let dead_id = intern(Vec::new(), &mut order, &mut work);
+        edges.push((CharClass::NotIn(covered), dead_id));
+        if trans.len() < order.len() {
+            trans.resize(order.len(), Vec::new());
+        }
+        trans[id as usize] = edges;
+    }
+    if trans.len() < order.len() {
+        trans.resize(order.len(), Vec::new());
+    }
+    for (q, row) in trans.iter_mut().enumerate() {
+        if row.is_empty() {
+            row.push((CharClass::any(), q as StateId));
+        }
+    }
+    let accept: Vec<bool> = order
+        .iter()
+        .map(|set| set.iter().any(|&s| f.is_accepting(s)))
+        .collect();
+    Dfa::from_parts(trans, start, accept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_hedges;
+    use crate::nha::NhaBuilder;
+    use hedgex_automata::Regex;
+    use hedgex_hedge::{parse_hedge, Alphabet};
+
+    /// The paper's M₁ (see `nha.rs`).
+    fn m1(ab: &mut Alphabet) -> Nha {
+        let d = ab.sym("d");
+        let p = ab.sym("p");
+        let x = ab.var("x");
+        let mut b = NhaBuilder::new(4);
+        b.leaf(Leaf::Var(x), 3)
+            .rule(d, Regex::sym(1).concat(Regex::sym(2).star()), 0)
+            .rule(p, Regex::word(&[3, 3]), 1)
+            .rule(p, Regex::word(&[3, 3]), 2)
+            .rule(p, Regex::word(&[3]), 1)
+            .finals(Regex::sym(0).star());
+        b.build()
+    }
+
+    #[test]
+    fn determinized_m1_agrees_on_paper_hedges() {
+        let mut ab = Alphabet::new();
+        let nha = m1(&mut ab);
+        let det = determinize(&nha);
+        for (src, expect) in [
+            ("d<p<$x> p<$y>>", false),
+            ("d<p<$x $x> p<$x $x>>", true),
+            ("d<p<$x $x>>", true),
+            ("d<p<$x> p<$x>>", false),
+            ("d<p<$x> p<$x $x>>", true),
+            ("", true),
+        ] {
+            let h = parse_hedge(src, &mut ab).unwrap();
+            assert_eq!(nha.accepts(&h), expect, "NHA on {src}");
+            assert_eq!(det.dha.accepts(&h), expect, "DHA on {src}");
+        }
+    }
+
+    #[test]
+    fn determinized_agrees_on_all_small_hedges() {
+        let mut ab = Alphabet::new();
+        let nha = m1(&mut ab);
+        let det = determinize(&nha);
+        let syms: Vec<_> = ab.syms().collect();
+        let vars: Vec<_> = ab.vars().collect();
+        let mut count = 0;
+        for h in enumerate_hedges(&syms, &vars, 5) {
+            assert_eq!(
+                nha.accepts(&h),
+                det.dha.accepts(&h),
+                "disagreement on hedge of size {}",
+                h.size()
+            );
+            count += 1;
+        }
+        assert!(count > 100, "enumerated only {count} hedges");
+    }
+
+    #[test]
+    fn subsets_reflect_set_semantics() {
+        // The p⟨x x⟩ node should determinize into the subset {q_p1, q_p2}.
+        let mut ab = Alphabet::new();
+        let nha = m1(&mut ab);
+        let det = determinize(&nha);
+        let h = parse_hedge("d<p<$x $x>>", &mut ab).unwrap();
+        let f = hedgex_hedge::FlatHedge::from_hedge(&h);
+        let states = det.dha.run(&f);
+        let p_state = states[1] as usize;
+        let expected: BTreeSet<HState> = [1, 2].into_iter().collect();
+        assert_eq!(det.subsets[p_state], expected);
+    }
+
+    #[test]
+    fn empty_subset_is_sink() {
+        let mut ab = Alphabet::new();
+        let nha = m1(&mut ab);
+        let det = determinize(&nha);
+        assert_eq!(det.dha.sink(), 0);
+        assert!(det.subsets[0].is_empty());
+        // A hedge with an unmapped variable lands in the sink.
+        let h = parse_hedge("d<p<$y>>", &mut ab).unwrap();
+        let f = hedgex_hedge::FlatHedge::from_hedge(&h);
+        let states = det.dha.run(&f);
+        assert_eq!(det.subsets[states[2] as usize], BTreeSet::new());
+    }
+
+    #[test]
+    fn deterministic_input_stays_small() {
+        // Determinizing an already-deterministic automaton should produce
+        // roughly one subset per original state (plus the sink), not 2^Q.
+        let mut ab = Alphabet::new();
+        let d = ab.sym("d");
+        let p = ab.sym("p");
+        let x = ab.var("x");
+        let mut b = NhaBuilder::new(3);
+        b.leaf(Leaf::Var(x), 2)
+            .rule(p, Regex::word(&[2]), 1)
+            .rule(d, Regex::sym(1).star(), 0)
+            .finals(Regex::sym(0).star());
+        let det = determinize(&b.build());
+        assert!(
+            det.dha.num_states() <= 4,
+            "got {} states",
+            det.dha.num_states()
+        );
+    }
+}

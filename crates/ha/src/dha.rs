@@ -1,0 +1,487 @@
+//! Deterministic hedge automata (Definitions 3–5).
+//!
+//! `α` is represented per symbol as a [`HorizFn`]: a single product DFA over
+//! the state alphabet `Q` (built with [`SaturatingClasses`]) whose
+//! product-states each carry the result state `α(a, w)`. This keeps `α`
+//! total — every word over `Q` lands in exactly one product state — and
+//! makes a run linear in the number of nodes: one table step per child edge.
+
+use std::collections::HashMap;
+
+use hedgex_automata::{Dfa, Nfa, Regex, SaturatingClasses};
+use hedgex_hedge::{FlatHedge, Hedge, SymId, Tree};
+
+use crate::types::{HState, Leaf};
+
+/// The horizontal transition function of one symbol: `w ↦ α(a, w)`.
+///
+/// A dense table: horizontal states × (state alphabet + one "fresh symbol"
+/// column), each horizontal state labelled with the result `α(a, w)`.
+#[derive(Debug, Clone)]
+pub struct HorizFn {
+    /// Size of the state alphabet `|Q|`.
+    nsyms: usize,
+    /// `table[h * (nsyms + 1) + q]`; column `nsyms` handles out-of-range
+    /// child states (only reachable through malformed input).
+    table: Vec<u32>,
+    /// Result state per horizontal state.
+    result: Vec<HState>,
+    start: u32,
+}
+
+impl HorizFn {
+    /// Build from prioritized rules `(L_j, q_j)`: a word `w` maps to the
+    /// `q_j` of the first `L_j` containing it, or to `sink`.
+    ///
+    /// First-match-wins keeps `α` a *function* even when rule languages
+    /// overlap; a well-formed deterministic automaton has disjoint rule
+    /// languages anyway, and then the priority is irrelevant.
+    pub fn from_rules(rules: &[(Dfa<HState>, HState)], num_states: u32, sink: HState) -> HorizFn {
+        let alphabet: Vec<HState> = (0..num_states).collect();
+        let dfas: Vec<Dfa<HState>> = rules.iter().map(|(d, _)| d.clone()).collect();
+        let classes = SaturatingClasses::build(&dfas, &alphabet);
+        let nclasses = classes.num_classes();
+        let result: Vec<HState> = (0..nclasses as u32)
+            .map(|c| {
+                rules
+                    .iter()
+                    .enumerate()
+                    .find(|(j, _)| classes.class_in_lang(c, *j))
+                    .map(|(_, (_, q))| *q)
+                    .unwrap_or(sink)
+            })
+            .collect();
+        let nsyms = num_states as usize;
+        let mut table = vec![0u32; nclasses * (nsyms + 1)];
+        for h in 0..nclasses as u32 {
+            for q in 0..num_states {
+                table[h as usize * (nsyms + 1) + q as usize] = classes.step(h, &q);
+            }
+            // Out-of-range child states behave like a fresh symbol.
+            table[h as usize * (nsyms + 1) + nsyms] = classes.step(h, &u32::MAX);
+        }
+        HorizFn {
+            nsyms,
+            table,
+            result,
+            start: classes.start(),
+        }
+    }
+
+    /// Build from an explicit DFA over the state alphabet together with one
+    /// result per DFA state (used by determinization and products, whose
+    /// horizontal automata are constructed directly).
+    pub fn from_labeled_dfa(dfa: &Dfa<HState>, labels: &[HState], num_states: u32) -> HorizFn {
+        assert_eq!(dfa.num_states(), labels.len());
+        let nsyms = num_states as usize;
+        let n = dfa.num_states();
+        let mut table = vec![0u32; n * (nsyms + 1)];
+        for h in 0..n as u32 {
+            for q in 0..num_states {
+                table[h as usize * (nsyms + 1) + q as usize] = dfa.step(h, &q);
+            }
+            table[h as usize * (nsyms + 1) + nsyms] = dfa.step_cofinite(h);
+        }
+        HorizFn {
+            nsyms,
+            table,
+            result: labels.to_vec(),
+            start: dfa.start(),
+        }
+    }
+
+    /// The horizontal state for the empty child sequence.
+    #[inline]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Extend a horizontal state by one child state.
+    #[inline]
+    pub fn step(&self, h: u32, q: HState) -> u32 {
+        let col = (q as usize).min(self.nsyms);
+        self.table[h as usize * (self.nsyms + 1) + col]
+    }
+
+    /// The result `α(a, w)` at horizontal state `h`.
+    #[inline]
+    pub fn result(&self, h: u32) -> HState {
+        self.result[h as usize]
+    }
+
+    /// Evaluate `α(a, w)` for a whole child-state word.
+    pub fn eval(&self, word: impl IntoIterator<Item = HState>) -> HState {
+        let mut h = self.start();
+        for q in word {
+            h = self.step(h, q);
+        }
+        self.result(h)
+    }
+
+    /// Number of horizontal states (used by size metrics in the benches).
+    pub fn num_classes(&self) -> usize {
+        self.result.len()
+    }
+
+    /// The inverse image `α⁻¹(a, q)` as a total symbolic DFA over the state
+    /// alphabet: accepts exactly the words `w` with `α(a, w) = q`.
+    pub fn inverse(&self, q: HState) -> Dfa<HState> {
+        use hedgex_automata::CharClass;
+        let n = self.num_classes();
+        let mut trans = Vec::with_capacity(n);
+        for h in 0..n as u32 {
+            let mut by_target: std::collections::BTreeMap<u32, Vec<HState>> =
+                std::collections::BTreeMap::new();
+            for s in 0..self.nsyms as HState {
+                by_target.entry(self.step(h, s)).or_default().push(s);
+            }
+            let cof = self.table[h as usize * (self.nsyms + 1) + self.nsyms];
+            let mut edges: Vec<(CharClass<HState>, hedgex_automata::StateId)> = Vec::new();
+            let mut covered: std::collections::BTreeSet<HState> =
+                std::collections::BTreeSet::new();
+            for (tgt, syms) in by_target {
+                if tgt == cof {
+                    continue; // folded into the co-finite edge
+                }
+                covered.extend(syms.iter().copied());
+                edges.push((CharClass::of(syms), tgt));
+            }
+            edges.push((CharClass::NotIn(covered), cof));
+            trans.push(edges);
+        }
+        let accept: Vec<bool> = self.result.iter().map(|&r| r == q).collect();
+        Dfa::from_parts(trans, self.start, accept)
+    }
+}
+
+/// A deterministic hedge automaton `(Σ, X, Q, ι, α, F)`.
+#[derive(Debug, Clone)]
+pub struct Dha {
+    num_states: u32,
+    sink: HState,
+    iota: HashMap<Leaf, HState>,
+    horiz: HashMap<SymId, HorizFn>,
+    finals: Dfa<HState>,
+}
+
+impl Dha {
+    /// Number of states `|Q|`.
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// The sink state (assigned when no rule matches).
+    pub fn sink(&self) -> HState {
+        self.sink
+    }
+
+    /// `ι` on a leaf label (sink when undefined).
+    pub fn iota(&self, leaf: Leaf) -> HState {
+        self.iota.get(&leaf).copied().unwrap_or(self.sink)
+    }
+
+    /// The horizontal function of a symbol, if any rules were declared.
+    pub fn horiz(&self, a: SymId) -> Option<&HorizFn> {
+        self.horiz.get(&a)
+    }
+
+    /// The final state sequence set `F` as a DFA over `Q`.
+    pub fn finals(&self) -> &Dfa<HState> {
+        &self.finals
+    }
+
+    /// All symbols with declared horizontal rules.
+    pub fn symbols(&self) -> impl Iterator<Item = SymId> + '_ {
+        self.horiz.keys().copied()
+    }
+
+    /// All leaf labels with a declared `ι` value.
+    pub fn leaves(&self) -> impl Iterator<Item = Leaf> + '_ {
+        self.iota.keys().copied()
+    }
+
+    /// Replace the final state sequence set (used when deriving automata
+    /// that share `(Q, ι, α)` but differ in `F`, as in Theorem 4).
+    pub fn with_finals(mut self, finals: Dfa<HState>) -> Dha {
+        self.finals = finals;
+        self
+    }
+
+    /// `α(a, w)` for an explicit word (sink for undeclared symbols).
+    pub fn alpha(&self, a: SymId, word: &[HState]) -> HState {
+        match self.horiz.get(&a) {
+            Some(h) => h.eval(word.iter().copied()),
+            None => self.sink,
+        }
+    }
+
+    /// The computation `M‖u` on a flat hedge: the state of every node,
+    /// indexed by [`hedgex_hedge::NodeId`]. Linear in the number of nodes
+    /// (Definition 4 evaluated bottom-up).
+    pub fn run(&self, h: &FlatHedge) -> Vec<HState> {
+        use hedgex_hedge::flat::FlatLabel;
+        let n = h.num_nodes();
+        let mut states = vec![self.sink; n];
+        // Preorder ids: children have larger ids than their parent, so a
+        // reverse scan sees every child before its parent.
+        for id in (0..n as u32).rev() {
+            match h.label(id) {
+                FlatLabel::Var(x) => states[id as usize] = self.iota(Leaf::Var(x)),
+                FlatLabel::Subst(z) => states[id as usize] = self.iota(Leaf::Sub(z)),
+                FlatLabel::Sym(a) => {
+                    states[id as usize] = match self.horiz.get(&a) {
+                        None => self.sink,
+                        Some(hf) => {
+                            let mut hs = hf.start();
+                            let mut c = h.first_child(id);
+                            while let Some(cid) = c {
+                                hs = hf.step(hs, states[cid as usize]);
+                                c = h.next_sibling(cid);
+                            }
+                            hf.result(hs)
+                        }
+                    };
+                }
+            }
+        }
+        states
+    }
+
+    /// The ceil of the computation: states of the top-level nodes.
+    pub fn run_ceil(&self, h: &FlatHedge) -> Vec<HState> {
+        let states = self.run(h);
+        h.roots().iter().map(|&r| states[r as usize]).collect()
+    }
+
+    /// Acceptance (Definition 5): is `⌈M‖u⌉ ∈ F`?
+    pub fn accepts_flat(&self, h: &FlatHedge) -> bool {
+        self.finals.accepts(&self.run_ceil(h))
+    }
+
+    /// Acceptance on a recursive hedge.
+    pub fn accepts(&self, h: &Hedge) -> bool {
+        self.accepts_flat(&FlatHedge::from_hedge(h))
+    }
+
+    /// The state of a single recursive tree (bottom-up, recursion-free).
+    pub fn state_of_tree(&self, t: &Tree) -> HState {
+        match t {
+            Tree::Var(x) => self.iota(Leaf::Var(*x)),
+            Tree::Subst(z) => self.iota(Leaf::Sub(*z)),
+            Tree::Node(a, children) => {
+                let word: Vec<HState> =
+                    children.trees().map(|c| self.state_of_tree(c)).collect();
+                self.alpha(*a, &word)
+            }
+        }
+    }
+
+    /// Build directly from parts (used by determinization, products, and
+    /// the marking constructions of Theorems 3 and 5).
+    pub fn from_parts(
+        num_states: u32,
+        sink: HState,
+        iota: HashMap<Leaf, HState>,
+        horiz: HashMap<SymId, HorizFn>,
+        finals: Dfa<HState>,
+    ) -> Dha {
+        Dha {
+            num_states,
+            sink,
+            iota,
+            horiz,
+            finals,
+        }
+    }
+}
+
+/// Incremental construction of a [`Dha`] from regular-expression rules.
+#[derive(Debug)]
+pub struct DhaBuilder {
+    num_states: u32,
+    sink: HState,
+    iota: HashMap<Leaf, HState>,
+    rules: HashMap<SymId, Vec<(Dfa<HState>, HState)>>,
+    finals: Option<Dfa<HState>>,
+}
+
+impl DhaBuilder {
+    /// Start a builder with `num_states` states, one of which is the sink.
+    pub fn new(num_states: u32, sink: HState) -> DhaBuilder {
+        assert!(sink < num_states, "sink must be a state");
+        DhaBuilder {
+            num_states,
+            sink,
+            iota: HashMap::new(),
+            rules: HashMap::new(),
+            finals: None,
+        }
+    }
+
+    /// Declare `ι(leaf) = q`.
+    pub fn leaf(&mut self, leaf: impl Into<Leaf>, q: HState) -> &mut Self {
+        assert!(q < self.num_states);
+        self.iota.insert(leaf.into(), q);
+        self
+    }
+
+    /// Declare `α(a, w) = q` for all `w ∈ L(re)` (first matching rule wins).
+    pub fn rule(&mut self, a: SymId, re: Regex<HState>, q: HState) -> &mut Self {
+        assert!(q < self.num_states);
+        let dfa = Nfa::from_regex(&re).to_dfa();
+        self.rules.entry(a).or_default().push((dfa, q));
+        self
+    }
+
+    /// Declare the final state sequence set `F = L(re)`.
+    pub fn finals(&mut self, re: Regex<HState>) -> &mut Self {
+        self.finals = Some(Nfa::from_regex(&re).to_dfa());
+        self
+    }
+
+    /// Compile the horizontal functions and assemble the automaton.
+    pub fn build(self) -> Dha {
+        let horiz = self
+            .rules
+            .into_iter()
+            .map(|(a, rules)| (a, HorizFn::from_rules(&rules, self.num_states, self.sink)))
+            .collect();
+        Dha {
+            num_states: self.num_states,
+            sink: self.sink,
+            iota: self.iota,
+            horiz,
+            finals: self
+                .finals
+                .unwrap_or_else(|| Nfa::from_regex(&Regex::Empty).to_dfa()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_hedge::{parse_hedge, Alphabet};
+
+    /// The paper's M₀ (Section 3): accepts any sequence of trees
+    /// d⟨p⟨x⟩ p⟨y⟩*⟩ — a `d` whose children are a `p⟨x⟩` followed by any
+    /// number of `p⟨y⟩`.
+    fn m0(ab: &mut Alphabet) -> Dha {
+        let d = ab.sym("d");
+        let p = ab.sym("p");
+        let x = ab.var("x");
+        let y = ab.var("y");
+        // States: 0=q_d, 1=q_p1, 2=q_p2, 3=q_x, 4=q_y, 5=q_0 (sink).
+        let mut b = DhaBuilder::new(6, 5);
+        b.leaf(Leaf::Var(x), 3)
+            .leaf(Leaf::Var(y), 4)
+            .rule(d, Regex::sym(1).concat(Regex::sym(2).star()), 0)
+            .rule(p, Regex::word(&[3]), 1)
+            .rule(p, Regex::word(&[4]), 2)
+            .finals(Regex::sym(0).star());
+        b.build()
+    }
+
+    #[test]
+    fn m0_accepts_paper_example() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        // d⟨p⟨x⟩ p⟨y⟩⟩ d⟨p⟨x⟩⟩ is accepted: computation ceil q_d q_d ∈ F.
+        let h = parse_hedge("d<p<$x> p<$y>> d<p<$x>>", &mut ab).unwrap();
+        assert!(m.accepts(&h));
+    }
+
+    #[test]
+    fn m0_computation_matches_paper() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        let h = parse_hedge("d<p<$x> p<$y>> d<p<$x>>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        let states = m.run(&f);
+        // Computation: q_d⟨q_p1⟨q_x⟩ q_p2⟨q_y⟩⟩ q_d⟨q_p1⟨q_x⟩⟩.
+        assert_eq!(states, vec![0, 1, 3, 2, 4, 0, 1, 3]);
+        assert_eq!(m.run_ceil(&f), vec![0, 0]);
+    }
+
+    #[test]
+    fn m0_rejects_wrong_shapes() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        for bad in [
+            "d<p<$y>>",          // first child must be p⟨x⟩
+            "d<p<$x> p<$x>>",    // later children must be p⟨y⟩
+            "p<$x>",             // top level must be d's
+            "d<p<$x>> p<$y>",    // mixed top level
+            "d",                 // d with no children
+            "d<p<$x $x>>",       // p with two leaves
+        ] {
+            let h = parse_hedge(bad, &mut ab).unwrap();
+            assert!(!m.accepts(&h), "should reject {bad}");
+        }
+        // ε: F = q_d* contains the empty sequence.
+        assert!(m.accepts(&parse_hedge("", &mut ab).unwrap()));
+    }
+
+    #[test]
+    fn unknown_symbols_and_vars_go_to_sink() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        let h = parse_hedge("q<$w>", &mut ab).unwrap();
+        assert!(!m.accepts(&h));
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(m.run(&f), vec![5, 5]);
+    }
+
+    #[test]
+    fn state_of_tree_agrees_with_run() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        let h = parse_hedge("d<p<$x> p<$y> p<$y>>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        let states = m.run(&f);
+        for (i, t) in h.trees().enumerate() {
+            assert_eq!(m.state_of_tree(t), states[f.roots()[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn first_match_wins_on_overlapping_rules() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let mut b = DhaBuilder::new(3, 2);
+        // Both rules match ε; the first one should win.
+        b.rule(a, Regex::Epsilon, 0)
+            .rule(a, Regex::Epsilon, 1)
+            .finals(Regex::sym(0));
+        let m = b.build();
+        let h = parse_hedge("a", &mut ab).unwrap();
+        assert!(m.accepts(&h));
+    }
+
+    #[test]
+    fn horiz_fn_eval_matches_step_chain() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        let p = ab.get_sym("p").unwrap();
+        let hf = m.horiz(p).unwrap();
+        assert_eq!(hf.eval([3]), 1);
+        assert_eq!(hf.eval([4]), 2);
+        assert_eq!(hf.eval([3, 3]), 5);
+        assert_eq!(hf.eval([]), 5);
+        let mut h = hf.start();
+        h = hf.step(h, 3);
+        assert_eq!(hf.result(h), 1);
+    }
+
+    #[test]
+    fn alpha_is_total() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        let d = ab.get_sym("d").unwrap();
+        // Arbitrary garbage words map to the sink, never panic.
+        assert_eq!(m.alpha(d, &[5, 5, 5]), 5);
+        assert_eq!(m.alpha(d, &[1]), 0);
+        assert_eq!(m.alpha(d, &[1, 2, 2, 2]), 0);
+        assert_eq!(m.alpha(d, &[2]), 5);
+    }
+}

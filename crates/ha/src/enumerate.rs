@@ -1,0 +1,155 @@
+//! Exhaustive enumeration of small hedges.
+//!
+//! Language-level properties (Theorem 1's equivalence, Theorem 2's
+//! round-trip, Theorem 3/5's marking correctness, schema-transformation
+//! soundness) are tested by comparing automata on *every* hedge up to a node
+//! budget over a small alphabet — an executable ∀ check that catches
+//! off-by-one construction bugs random testing tends to miss.
+
+use hedgex_hedge::{Hedge, SubId, SymId, Tree, VarId};
+
+/// All hedges with at most `max_nodes` nodes whose Σ labels come from
+/// `syms` and whose variable leaves come from `vars` (ε included).
+///
+/// The count grows exponentially in `max_nodes`; budgets of 4–6 over one or
+/// two symbols are the practical range.
+pub fn enumerate_hedges(syms: &[SymId], vars: &[VarId], max_nodes: usize) -> Vec<Hedge> {
+    enumerate_hedges_with_subs(syms, vars, &[], max_nodes)
+}
+
+/// Like [`enumerate_hedges`], additionally producing substitution-symbol
+/// leaves from `subs` — so `a⟨z⟩` shapes (and ill-formed bare/sibling `z`
+/// placements, which every semantics here consistently rejects) are covered
+/// when testing hedge regular expressions over `H[Σ, X, Z]`.
+pub fn enumerate_hedges_with_subs(
+    syms: &[SymId],
+    vars: &[VarId],
+    subs: &[SubId],
+    max_nodes: usize,
+) -> Vec<Hedge> {
+    let vars_ext: Vec<LeafKind> = vars
+        .iter()
+        .map(|&x| LeafKind::Var(x))
+        .chain(subs.iter().map(|&z| LeafKind::Sub(z)))
+        .collect();
+    let mut memo: Vec<Option<Vec<Hedge>>> = vec![None; max_nodes + 1];
+    hedges_upto(syms, &vars_ext, max_nodes, &mut memo)
+}
+
+#[derive(Clone, Copy)]
+enum LeafKind {
+    Var(VarId),
+    Sub(SubId),
+}
+
+impl LeafKind {
+    fn tree(self) -> Tree {
+        match self {
+            LeafKind::Var(x) => Tree::Var(x),
+            LeafKind::Sub(z) => Tree::Subst(z),
+        }
+    }
+}
+
+fn hedges_upto(
+    syms: &[SymId],
+    vars: &[LeafKind],
+    budget: usize,
+    memo: &mut Vec<Option<Vec<Hedge>>>,
+) -> Vec<Hedge> {
+    if let Some(cached) = &memo[budget] {
+        return cached.clone();
+    }
+    let mut out = vec![Hedge::empty()];
+    if budget > 0 {
+        // A hedge is a first tree (size s ≥ 1) followed by a rest hedge.
+        for (first, s) in trees_upto(syms, vars, budget, memo) {
+            for rest in hedges_upto(syms, vars, budget - s, memo) {
+                let mut trees = vec![first.clone()];
+                trees.extend(rest.0);
+                out.push(Hedge(trees));
+            }
+        }
+    }
+    memo[budget] = Some(out.clone());
+    out
+}
+
+/// All trees with at most `budget` nodes, paired with their exact size.
+fn trees_upto(
+    syms: &[SymId],
+    vars: &[LeafKind],
+    budget: usize,
+    memo: &mut Vec<Option<Vec<Hedge>>>,
+) -> Vec<(Tree, usize)> {
+    let mut out = Vec::new();
+    if budget == 0 {
+        return out;
+    }
+    for &x in vars {
+        out.push((x.tree(), 1));
+    }
+    for &a in syms {
+        for content in hedges_upto(syms, vars, budget - 1, memo) {
+            let s = 1 + content.size();
+            out.push((Tree::Node(a, content), s));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_hedge::Alphabet;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_for_single_symbol_no_vars() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        // Hedges over {a} with ≤ n nodes are counted by Catalan-like
+        // numbers: n=0 → 1 (ε); n=1 → 2 (ε, a); n=2 → 4 (ε, a, aa, a⟨a⟩).
+        assert_eq!(enumerate_hedges(&[a], &[], 0).len(), 1);
+        assert_eq!(enumerate_hedges(&[a], &[], 1).len(), 2);
+        assert_eq!(enumerate_hedges(&[a], &[], 2).len(), 4);
+        assert_eq!(enumerate_hedges(&[a], &[], 3).len(), 9);
+    }
+
+    #[test]
+    fn no_duplicates_and_budget_respected() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        let x = ab.var("x");
+        let all = enumerate_hedges(&[a, b], &[x], 4);
+        let mut seen = HashSet::new();
+        for h in &all {
+            assert!(h.size() <= 4, "hedge too large: {} nodes", h.size());
+            assert!(seen.insert(h.clone()), "duplicate hedge");
+        }
+    }
+
+    #[test]
+    fn includes_wide_and_deep_shapes() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let all = enumerate_hedges(&[a], &[], 3);
+        // Deep: a⟨a⟨a⟩⟩; wide: a a a.
+        let deep = Hedge::node(a, Hedge::node(a, Hedge::leaf(a)));
+        let wide = Hedge::leaf(a).concat(Hedge::leaf(a)).concat(Hedge::leaf(a));
+        assert!(all.contains(&deep));
+        assert!(all.contains(&wide));
+    }
+
+    #[test]
+    fn variables_appear_as_leaves() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let x = ab.var("x");
+        let all = enumerate_hedges(&[a], &[x], 2);
+        assert!(all.contains(&Hedge::var(x)));
+        assert!(all.contains(&Hedge::node(a, Hedge::var(x))));
+        assert!(all.contains(&Hedge::var(x).concat(Hedge::var(x))));
+    }
+}

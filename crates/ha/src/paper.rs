@@ -1,0 +1,79 @@
+//! The paper's worked examples (Section 3), packaged for reuse by tests,
+//! examples, and benchmarks.
+
+use hedgex_automata::Regex;
+use hedgex_hedge::Alphabet;
+
+use crate::dha::{Dha, DhaBuilder};
+use crate::nha::{Nha, NhaBuilder};
+use crate::types::Leaf;
+
+/// State names of [`m0`], in id order.
+pub const M0_STATES: [&str; 6] = ["q_d", "q_p1", "q_p2", "q_x", "q_y", "q_0"];
+
+/// The deterministic hedge automaton `M₀` of Section 3.
+///
+/// Accepts any sequence of trees `d⟨p⟨x⟩ p⟨y⟩…p⟨y⟩⟩`:
+/// `α(d, u) = q_d` iff `u ∈ L(q_p1 q_p2*)`, `α(p, q_x) = q_p1`,
+/// `α(p, q_y) = q_p2`, `F = L(q_d*)`. Interns `d`, `p`, `x`, `y` into `ab`.
+pub fn m0(ab: &mut Alphabet) -> Dha {
+    let d = ab.sym("d");
+    let p = ab.sym("p");
+    let x = ab.var("x");
+    let y = ab.var("y");
+    let mut b = DhaBuilder::new(6, 5);
+    b.leaf(Leaf::Var(x), 3)
+        .leaf(Leaf::Var(y), 4)
+        .rule(d, Regex::sym(1).concat(Regex::sym(2).star()), 0)
+        .rule(p, Regex::word(&[3]), 1)
+        .rule(p, Regex::word(&[4]), 2)
+        .finals(Regex::sym(0).star());
+    b.build()
+}
+
+/// State names of [`m1`], in id order.
+pub const M1_STATES: [&str; 4] = ["q_d", "q_p1", "q_p2", "q_x"];
+
+/// The non-deterministic hedge automaton `M₁` of Section 3.
+///
+/// `ι(x) = {q_x}`, `ι(y) = ∅`, `α(d, u) = {q_d}` iff `u ∈ L(q_p1 q_p2*)`,
+/// `α(p, q_x q_x) = {q_p1, q_p2}`, `α(p, q_x) = {q_p1}`, `F = L(q_d*)`.
+///
+/// (The paper's displayed `F₀ = L(q_x*)` is an evident typo for `L(q_d*)`:
+/// its example executions produce ceils `q_d`, which it declares accepted.)
+pub fn m1(ab: &mut Alphabet) -> Nha {
+    let d = ab.sym("d");
+    let p = ab.sym("p");
+    let x = ab.var("x");
+    ab.var("y");
+    let mut b = NhaBuilder::new(4);
+    b.leaf(Leaf::Var(x), 3)
+        .rule(d, Regex::sym(1).concat(Regex::sym(2).star()), 0)
+        .rule(p, Regex::word(&[3, 3]), 1)
+        .rule(p, Regex::word(&[3, 3]), 2)
+        .rule(p, Regex::word(&[3]), 1)
+        .finals(Regex::sym(0).star());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_hedge::parse_hedge;
+
+    #[test]
+    fn m0_section_3_walkthrough() {
+        let mut ab = Alphabet::new();
+        let m = m0(&mut ab);
+        let h = parse_hedge("d<p<$x> p<$y>> d<p<$x>>", &mut ab).unwrap();
+        assert!(m.accepts(&h));
+    }
+
+    #[test]
+    fn m1_section_3_walkthrough() {
+        let mut ab = Alphabet::new();
+        let m = m1(&mut ab);
+        assert!(!m.accepts(&parse_hedge("d<p<$x> p<$y>>", &mut ab).unwrap()));
+        assert!(m.accepts(&parse_hedge("d<p<$x $x> p<$x $x>>", &mut ab).unwrap()));
+    }
+}

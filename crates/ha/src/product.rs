@@ -1,0 +1,636 @@
+//! Products of deterministic hedge automata.
+//!
+//! Two uses in the paper:
+//!
+//! * **Theorem 4** assumes "without loss of generality" that all the hedge
+//!   automata `M_{i1}, M_{i2}` compiled from a pointed hedge representation
+//!   share the state set, `ι` and `α`, differing only in their final state
+//!   sequence sets — "we only have to use the cross product of all state
+//!   sets". [`product_many`] is that cross product: it returns the shared
+//!   automaton plus every component's `F` *lifted* to the product states.
+//! * **Section 8** intersects an input schema with the match-identifying
+//!   automata to transform schemas; [`intersect`] is the binary case with
+//!   conjunctive acceptance.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use hedgex_automata::{CharClass, Dfa, StateId};
+use hedgex_hedge::SymId;
+
+use crate::dha::{Dha, HorizFn};
+use crate::types::{HState, Leaf};
+
+/// The result of an n-ary product.
+pub struct ManyProduct {
+    /// The shared automaton. Its own `F` is empty; use `lifted_finals` (or
+    /// [`Dha::with_finals`]) to install an acceptance condition.
+    pub dha: Dha,
+    /// Product state → component states.
+    pub tuples: Vec<Vec<HState>>,
+    /// Per component: its `F` lifted to a DFA over product state ids.
+    pub lifted_finals: Vec<Dfa<HState>>,
+}
+
+impl ManyProduct {
+    /// The component state of product state `q` in component `i`.
+    pub fn project(&self, q: HState, i: usize) -> HState {
+        self.tuples[q as usize][i]
+    }
+}
+
+/// A per-component view of a horizontal function, defaulting to a constant
+/// sink for symbols the component never declared.
+enum Horiz<'a> {
+    Real(&'a HorizFn),
+    Sink(HState),
+}
+
+impl Horiz<'_> {
+    fn start(&self) -> u32 {
+        match self {
+            Horiz::Real(h) => h.start(),
+            Horiz::Sink(_) => 0,
+        }
+    }
+    fn step(&self, h: u32, q: HState) -> u32 {
+        match self {
+            Horiz::Real(f) => f.step(h, q),
+            Horiz::Sink(_) => h,
+        }
+    }
+    fn result(&self, h: u32) -> HState {
+        match self {
+            Horiz::Real(f) => f.result(h),
+            Horiz::Sink(s) => *s,
+        }
+    }
+}
+
+/// Build the cross product of several deterministic hedge automata over the
+/// reachable product states.
+pub fn product_many(parts: &[&Dha]) -> ManyProduct {
+    let n = parts.len();
+    assert!(n > 0, "product of zero automata");
+
+    // Interned product tuples. Id 0 is the all-sinks tuple.
+    let mut ids: HashMap<Vec<HState>, HState> = HashMap::new();
+    let mut tuples: Vec<Vec<HState>> = Vec::new();
+    let mut intern = |t: Vec<HState>, tuples: &mut Vec<Vec<HState>>| -> HState {
+        *ids.entry(t.clone()).or_insert_with(|| {
+            tuples.push(t);
+            (tuples.len() - 1) as HState
+        })
+    };
+    let sink_tuple: Vec<HState> = parts.iter().map(|p| p.sink()).collect();
+    let sink = intern(sink_tuple, &mut tuples);
+
+    // ι on the union of declared leaves.
+    let mut leaves: BTreeSet<Leaf> = BTreeSet::new();
+    for p in parts {
+        leaves.extend(p.leaves());
+    }
+    let mut iota: HashMap<Leaf, HState> = HashMap::new();
+    for leaf in leaves {
+        let t: Vec<HState> = parts.iter().map(|p| p.iota(leaf)).collect();
+        iota.insert(leaf, intern(t, &mut tuples));
+    }
+
+    // The union of declared symbols.
+    let mut symbols: BTreeSet<SymId> = BTreeSet::new();
+    for p in parts {
+        symbols.extend(p.symbols());
+    }
+    let views = |a: SymId| -> Vec<Horiz<'_>> {
+        parts
+            .iter()
+            .map(|p| match p.horiz(a) {
+                Some(h) => Horiz::Real(h),
+                None => Horiz::Sink(p.sink()),
+            })
+            .collect()
+    };
+
+    // Discovery fixpoint: find all product states producible at a node.
+    loop {
+        let before = tuples.len();
+        for &a in &symbols {
+            let vs = views(a);
+            let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
+            let start: Vec<u32> = vs.iter().map(Horiz::start).collect();
+            let mut work = vec![start.clone()];
+            seen.insert(start);
+            while let Some(cur) = work.pop() {
+                let res: Vec<HState> = vs
+                    .iter()
+                    .zip(&cur)
+                    .map(|(v, &h)| v.result(h))
+                    .collect();
+                intern(res, &mut tuples);
+                let snapshot = tuples.len();
+                #[allow(clippy::needless_range_loop)] // interning mutates the indexed vec
+                for i in 0..snapshot {
+                    let tuple = tuples[i].clone();
+                    let next: Vec<u32> = vs
+                        .iter()
+                        .zip(&cur)
+                        .zip(&tuple)
+                        .map(|((v, &h), &q)| v.step(h, q))
+                        .collect();
+                    if seen.insert(next.clone()) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+        if tuples.len() == before {
+            break;
+        }
+    }
+
+    let num_states = tuples.len() as u32;
+
+    // Horizontal functions over the final product alphabet.
+    let mut horiz: HashMap<SymId, HorizFn> = HashMap::new();
+    for &a in &symbols {
+        let vs = views(a);
+        // Explicit DFA over product ids: states are joint horizontal states.
+        let mut hids: HashMap<Vec<u32>, StateId> = HashMap::new();
+        let mut order: Vec<Vec<u32>> = Vec::new();
+        let mut work: Vec<StateId> = Vec::new();
+        let mut hintern =
+            |h: Vec<u32>, order: &mut Vec<Vec<u32>>, work: &mut Vec<StateId>| -> StateId {
+                *hids.entry(h.clone()).or_insert_with(|| {
+                    order.push(h);
+                    work.push((order.len() - 1) as StateId);
+                    (order.len() - 1) as StateId
+                })
+            };
+        let start = hintern(vs.iter().map(Horiz::start).collect(), &mut order, &mut work);
+        let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::new();
+        while let Some(id) = work.pop() {
+            let cur = order[id as usize].clone();
+            let mut by_target: BTreeMap<Vec<u32>, Vec<HState>> = BTreeMap::new();
+            for (i, tuple) in tuples.iter().enumerate() {
+                let next: Vec<u32> = vs
+                    .iter()
+                    .zip(&cur)
+                    .zip(tuple)
+                    .map(|((v, &h), &q)| v.step(h, q))
+                    .collect();
+                by_target.entry(next).or_default().push(i as HState);
+            }
+            let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
+            let mut covered: BTreeSet<HState> = BTreeSet::new();
+            for (tgt, syms) in by_target {
+                let tid = hintern(tgt, &mut order, &mut work);
+                covered.extend(syms.iter().copied());
+                edges.push((CharClass::of(syms), tid));
+            }
+            // Out-of-alphabet product ids cannot occur in well-formed runs;
+            // send them to the current state (harmless self-loop).
+            edges.push((CharClass::NotIn(covered), id));
+            if trans.len() < order.len() {
+                trans.resize(order.len(), Vec::new());
+            }
+            trans[id as usize] = edges;
+        }
+        if trans.len() < order.len() {
+            trans.resize(order.len(), Vec::new());
+        }
+        for (q, row) in trans.iter_mut().enumerate() {
+            if row.is_empty() {
+                row.push((CharClass::any(), q as StateId));
+            }
+        }
+        let labels: Vec<HState> = order
+            .iter()
+            .map(|h| {
+                let res: Vec<HState> = vs
+                    .iter()
+                    .zip(h)
+                    .map(|(v, &hs)| v.result(hs))
+                    .collect();
+                *ids.get(&res).expect("fixpoint interned every result tuple")
+            })
+            .collect();
+        let accept = vec![false; order.len()];
+        let dfa = Dfa::from_parts(trans, start, accept);
+        horiz.insert(a, HorizFn::from_labeled_dfa(&dfa, &labels, num_states));
+    }
+
+    // Lift each component's F to the product alphabet.
+    let lifted_finals: Vec<Dfa<HState>> = (0..n)
+        .map(|i| lift_component_finals(parts[i].finals(), &tuples, i))
+        .collect();
+
+    let empty_f = {
+        // The empty language as a total DFA over product ids.
+        hedgex_automata::Nfa::<HState>::empty_lang().to_dfa()
+    };
+
+    ManyProduct {
+        dha: Dha::from_parts(num_states, sink, iota, horiz, empty_f),
+        tuples,
+        lifted_finals,
+    }
+}
+
+/// Relabel a component's `F` (a DFA over component states) into a DFA over
+/// product ids: product id `t` behaves like its `i`-th projection.
+fn lift_component_finals(f: &Dfa<HState>, tuples: &[Vec<HState>], i: usize) -> Dfa<HState> {
+    let n = f.num_states();
+    let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::with_capacity(n);
+    for s in 0..n as StateId {
+        let mut by_target: BTreeMap<StateId, Vec<HState>> = BTreeMap::new();
+        for (tid, tuple) in tuples.iter().enumerate() {
+            by_target
+                .entry(f.step(s, &tuple[i]))
+                .or_default()
+                .push(tid as HState);
+        }
+        let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
+        let mut covered: BTreeSet<HState> = BTreeSet::new();
+        for (tgt, syms) in by_target {
+            covered.extend(syms.iter().copied());
+            edges.push((CharClass::of(syms), tgt));
+        }
+        // Fresh symbols behave like the component's co-finite edge.
+        edges.push((CharClass::NotIn(covered), f.step_cofinite(s)));
+        trans.push(edges);
+    }
+    let accept: Vec<bool> = (0..n as StateId).map(|s| f.is_accepting(s)).collect();
+    Dfa::from_parts(trans, f.start(), accept)
+}
+
+/// The result of a binary intersection.
+pub struct DhaProduct {
+    /// The intersection automaton (accepts `L(a) ∩ L(b)`).
+    pub dha: Dha,
+    /// Product state → (left state, right state).
+    pub pairs: Vec<(HState, HState)>,
+}
+
+/// Intersection of two deterministic hedge automata.
+pub fn intersect(a: &Dha, b: &Dha) -> DhaProduct {
+    let prod = product_many(&[a, b]);
+    let finals = prod.lifted_finals[0].intersect(&prod.lifted_finals[1]);
+    let pairs = prod
+        .tuples
+        .iter()
+        .map(|t| (t[0], t[1]))
+        .collect();
+    DhaProduct {
+        dha: prod.dha.with_finals(finals),
+        pairs,
+    }
+}
+
+/// The result of a non-deterministic × deterministic product.
+pub struct NhaProduct {
+    /// The product automaton: accepts `L(n) ∩ L(d)`.
+    pub nha: crate::nha::Nha,
+    /// Product state → (NHA state, DHA state).
+    pub pairs: Vec<(HState, HState)>,
+}
+
+/// Product of a non-deterministic and a deterministic hedge automaton.
+///
+/// Schema transformation (Section 8) intersects the match-identifying
+/// automaton `M↑e₂` — irreducibly non-deterministic, its unique-success
+/// property is the point — with the (deterministic) input schema and `M↓e₁`.
+/// The result stays an NHA whose states project onto both factors.
+pub fn product_nha_dha(n: &crate::nha::Nha, d: &Dha) -> NhaProduct {
+    use crate::nha::Nha;
+    let mut ids: HashMap<(HState, HState), HState> = HashMap::new();
+    let mut pairs: Vec<(HState, HState)> = Vec::new();
+    let mut intern = |p: (HState, HState), pairs: &mut Vec<(HState, HState)>| -> HState {
+        *ids.entry(p).or_insert_with(|| {
+            pairs.push(p);
+            (pairs.len() - 1) as HState
+        })
+    };
+
+    // ι: leaves present in the NHA pair with the DHA's (total) ι.
+    let mut iota: HashMap<Leaf, Vec<HState>> = HashMap::new();
+    for (leaf, qns) in n.iotas() {
+        let qd = d.iota(leaf);
+        let states: Vec<HState> = qns
+            .iter()
+            .map(|&qn| intern((qn, qd), &mut pairs))
+            .collect();
+        iota.insert(leaf, states);
+    }
+
+    let symbols: Vec<SymId> = n.symbols().collect();
+    let dview = |a: SymId| -> Option<&crate::dha::HorizFn> { d.horiz(a) };
+
+    // Discovery fixpoint over producible pairs.
+    loop {
+        let before = pairs.len();
+        for &a in &symbols {
+            let hf = dview(a);
+            for (dfa, qn) in n.rules(a) {
+                // Joint exploration: (rule-DFA state, D horizontal state).
+                let mut seen: BTreeSet<(StateId, u32)> = BTreeSet::new();
+                let hstart = hf.map_or(0, |h| h.start());
+                let start = (dfa.start(), hstart);
+                let mut work = vec![start];
+                seen.insert(start);
+                while let Some((ds, hs)) = work.pop() {
+                    if dfa.is_accepting(ds) {
+                        let qd = hf.map_or(d.sink(), |h| h.result(hs));
+                        intern((*qn, qd), &mut pairs);
+                    }
+                    let snapshot = pairs.len();
+                    #[allow(clippy::needless_range_loop)] // interning mutates the indexed vec
+                    for i in 0..snapshot {
+                        let (pn, pd) = pairs[i];
+                        let next = (
+                            dfa.step(ds, &pn),
+                            hf.map_or(hs, |h| h.step(hs, pd)),
+                        );
+                        if seen.insert(next) {
+                            work.push(next);
+                        }
+                    }
+                }
+            }
+        }
+        if pairs.len() == before {
+            break;
+        }
+    }
+    let num_states = pairs.len().max(1) as u32;
+
+    // Build the product rules against the final pair alphabet.
+    let mut rules: HashMap<SymId, Vec<(Dfa<HState>, HState)>> = HashMap::new();
+    for &a in &symbols {
+        let hf = dview(a);
+        for (dfa, qn) in n.rules(a) {
+            // Joint DFA over pair ids.
+            let mut jids: HashMap<(StateId, u32), StateId> = HashMap::new();
+            let mut jorder: Vec<(StateId, u32)> = Vec::new();
+            let mut jwork: Vec<StateId> = Vec::new();
+            let mut jintern = |p: (StateId, u32),
+                               jorder: &mut Vec<(StateId, u32)>,
+                               jwork: &mut Vec<StateId>|
+             -> StateId {
+                *jids.entry(p).or_insert_with(|| {
+                    jorder.push(p);
+                    jwork.push((jorder.len() - 1) as StateId);
+                    (jorder.len() - 1) as StateId
+                })
+            };
+            let hstart = hf.map_or(0, |h| h.start());
+            let start = jintern((dfa.start(), hstart), &mut jorder, &mut jwork);
+            let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::new();
+            while let Some(id) = jwork.pop() {
+                let (ds, hs) = jorder[id as usize];
+                let mut by_target: BTreeMap<(StateId, u32), Vec<HState>> = BTreeMap::new();
+                for (i, &(pn, pd)) in pairs.iter().enumerate() {
+                    let next = (dfa.step(ds, &pn), hf.map_or(hs, |h| h.step(hs, pd)));
+                    by_target.entry(next).or_default().push(i as HState);
+                }
+                let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
+                let mut covered: BTreeSet<HState> = BTreeSet::new();
+                for (tgt, syms) in by_target {
+                    let tid = jintern(tgt, &mut jorder, &mut jwork);
+                    covered.extend(syms.iter().copied());
+                    edges.push((CharClass::of(syms), tid));
+                }
+                edges.push((CharClass::NotIn(covered), id));
+                if trans.len() < jorder.len() {
+                    trans.resize(jorder.len(), Vec::new());
+                }
+                trans[id as usize] = edges;
+            }
+            if trans.len() < jorder.len() {
+                trans.resize(jorder.len(), Vec::new());
+            }
+            for (q, row) in trans.iter_mut().enumerate() {
+                if row.is_empty() {
+                    row.push((CharClass::any(), q as StateId));
+                }
+            }
+            // One rule per distinct (qn, qd) result this joint DFA reaches.
+            let mut results: BTreeSet<HState> = BTreeSet::new();
+            for &(ds, hs) in &jorder {
+                if dfa.is_accepting(ds) {
+                    let qd = hf.map_or(d.sink(), |h| h.result(hs));
+                    if let Some(&pid) = ids.get(&(*qn, qd)) {
+                        results.insert(pid);
+                    }
+                }
+            }
+            for pid in results {
+                let (_, qd_target) = pairs[pid as usize];
+                let accept: Vec<bool> = jorder
+                    .iter()
+                    .map(|&(ds, hs)| {
+                        dfa.is_accepting(ds)
+                            && hf.map_or(d.sink(), |h| h.result(hs)) == qd_target
+                    })
+                    .collect();
+                let jdfa = Dfa::from_parts(trans.clone(), start, accept);
+                rules.entry(a).or_default().push((jdfa, pid));
+            }
+        }
+    }
+
+    // F: pair words whose N-projection is accepted by F_N and whose
+    // D-projection is accepted by F_D.
+    let fnfa = n.finals();
+    let fd = d.finals();
+    let fd_n = fd.num_states() as StateId;
+    let fn_n = fnfa.num_states() as StateId;
+    let fid = |sn: StateId, sd: StateId| sn * fd_n + sd;
+    let total = (fn_n * fd_n) as usize;
+    let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = vec![Vec::new(); total];
+    let mut eps: Vec<Vec<StateId>> = vec![Vec::new(); total];
+    let mut accept = vec![false; total];
+    for sn in 0..fn_n {
+        for sd in 0..fd_n {
+            let st = fid(sn, sd) as usize;
+            accept[st] = fnfa.is_accepting(sn) && fd.is_accepting(sd);
+            for &t in fnfa.eps_transitions(sn) {
+                eps[st].push(fid(t, sd));
+            }
+            for (c, tn) in fnfa.transitions(sn) {
+                let mut by_target: BTreeMap<StateId, Vec<HState>> = BTreeMap::new();
+                for (i, &(pn, pd)) in pairs.iter().enumerate() {
+                    if c.contains(&pn) {
+                        by_target
+                            .entry(fid(*tn, fd.step(sd, &pd)))
+                            .or_default()
+                            .push(i as HState);
+                    }
+                }
+                for (tgt, syms) in by_target {
+                    trans[st].push((CharClass::of(syms), tgt));
+                }
+            }
+        }
+    }
+    let finals = hedgex_automata::Nfa::from_raw(
+        trans,
+        eps,
+        fid(fnfa.start(), fd.start()),
+        accept,
+    );
+
+    NhaProduct {
+        nha: Nha::from_parts(num_states, iota, rules, finals),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dha::DhaBuilder;
+    use crate::enumerate::enumerate_hedges;
+    use hedgex_automata::Regex;
+    use hedgex_hedge::Alphabet;
+
+    /// All hedges over {a, b} whose top level is `a*` and whose `a` nodes
+    /// contain only `b` leaves.
+    fn schema_ab(ab: &mut Alphabet) -> Dha {
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        // 0 = q_a, 1 = q_b, 2 = sink.
+        let mut d = DhaBuilder::new(3, 2);
+        d.rule(b, Regex::Epsilon, 1)
+            .rule(a, Regex::sym(1).star(), 0)
+            .finals(Regex::sym(0).star());
+        d.build()
+    }
+
+    /// All hedges whose total node count at the top level is even… simpler:
+    /// top level has an even number of trees, any content (over {a, b}).
+    fn even_top(ab: &mut Alphabet) -> Dha {
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        // 0 = any, 1 = sink (unused; everything is state 0).
+        let mut d = DhaBuilder::new(2, 1);
+        d.rule(a, Regex::sym(0).star(), 0)
+            .rule(b, Regex::sym(0).star(), 0)
+            .finals(Regex::word(&[0, 0]).star());
+        d.build()
+    }
+
+    #[test]
+    fn intersection_agrees_with_conjunction() {
+        let mut ab = Alphabet::new();
+        let m1 = schema_ab(&mut ab);
+        let m2 = even_top(&mut ab);
+        let prod = intersect(&m1, &m2);
+        let syms: Vec<_> = ab.syms().collect();
+        for h in enumerate_hedges(&syms, &[], 5) {
+            let expect = m1.accepts(&h) && m2.accepts(&h);
+            assert_eq!(prod.dha.accepts(&h), expect, "hedge with {} nodes", h.size());
+        }
+    }
+
+    #[test]
+    fn pairs_project_correctly() {
+        let mut ab = Alphabet::new();
+        let m1 = schema_ab(&mut ab);
+        let m2 = even_top(&mut ab);
+        let prod = intersect(&m1, &m2);
+        let h = hedgex_hedge::parse_hedge("a<b b> a", &mut ab).unwrap();
+        let f = hedgex_hedge::FlatHedge::from_hedge(&h);
+        let states = prod.dha.run(&f);
+        let s1 = m1.run(&f);
+        let s2 = m2.run(&f);
+        for n in 0..f.num_nodes() {
+            let (p1, p2) = prod.pairs[states[n] as usize];
+            assert_eq!(p1, s1[n]);
+            assert_eq!(p2, s2[n]);
+        }
+    }
+
+    #[test]
+    fn lifted_finals_track_components() {
+        let mut ab = Alphabet::new();
+        let m1 = schema_ab(&mut ab);
+        let m2 = even_top(&mut ab);
+        let prod = product_many(&[&m1, &m2]);
+        let syms: Vec<_> = ab.syms().collect();
+        for h in enumerate_hedges(&syms, &[], 4) {
+            let f = hedgex_hedge::FlatHedge::from_hedge(&h);
+            let ceil = prod.dha.run_ceil(&f);
+            assert_eq!(prod.lifted_finals[0].accepts(&ceil), m1.accepts(&h));
+            assert_eq!(prod.lifted_finals[1].accepts(&ceil), m2.accepts(&h));
+        }
+    }
+
+    #[test]
+    fn nha_dha_product_agrees_with_conjunction() {
+        use crate::nha::NhaBuilder;
+        let mut ab = Alphabet::new();
+        let d = schema_ab(&mut ab);
+        let a = ab.get_sym("a").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        // NHA: top level is exactly one tree, labelled a or b, any content
+        // shape made of a/b.
+        let mut nb = NhaBuilder::new(2);
+        nb.rule(a, Regex::sym(0).star(), 0)
+            .rule(b, Regex::sym(0).star(), 0)
+            .rule(a, Regex::sym(0).star(), 1)
+            .rule(b, Regex::sym(0).star(), 1)
+            .finals(Regex::sym(1));
+        let n = nb.build();
+        let prod = product_nha_dha(&n, &d);
+        let syms: Vec<_> = ab.syms().collect();
+        for h in enumerate_hedges(&syms, &[], 5) {
+            let expect = n.accepts(&h) && d.accepts(&h);
+            assert_eq!(prod.nha.accepts(&h), expect, "on {h:?}");
+        }
+    }
+
+    #[test]
+    fn nha_dha_product_pairs_project() {
+        use crate::nha::NhaBuilder;
+        let mut ab = Alphabet::new();
+        let d = schema_ab(&mut ab);
+        let a = ab.get_sym("a").unwrap();
+        let mut nb = NhaBuilder::new(1);
+        nb.rule(a, Regex::Epsilon, 0).finals(Regex::sym(0).star());
+        let n = nb.build();
+        let prod = product_nha_dha(&n, &d);
+        for &(pn, pd) in &prod.pairs {
+            assert!(pn < n.num_states());
+            assert!(pd < d.num_states());
+        }
+    }
+
+    #[test]
+    fn nha_useful_and_inhabited() {
+        use crate::analysis::{nha_inhabited, nha_useful};
+        use crate::nha::NhaBuilder;
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        // 0 inhabited+useful; 1 inhabited but dead (F never uses it);
+        // 2 uninhabited.
+        let mut nb = NhaBuilder::new(3);
+        nb.rule(a, Regex::Epsilon, 0)
+            .rule(a, Regex::Epsilon, 1)
+            .rule(a, Regex::sym(2), 2)
+            .finals(Regex::sym(0).star());
+        let n = nb.build();
+        assert_eq!(nha_inhabited(&n), vec![true, true, false]);
+        assert_eq!(nha_useful(&n), vec![true, false, false]);
+    }
+
+    #[test]
+    fn product_of_one_is_identity_on_language() {
+        let mut ab = Alphabet::new();
+        let m1 = schema_ab(&mut ab);
+        let prod = product_many(&[&m1]);
+        let one = prod.dha.with_finals(prod.lifted_finals[0].clone());
+        let syms: Vec<_> = ab.syms().collect();
+        for h in enumerate_hedges(&syms, &[], 4) {
+            assert_eq!(one.accepts(&h), m1.accepts(&h));
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Arena (flat) hedges: the evaluators' working representation.
+//!
+//! The recursive [`Hedge`] is convenient to build and compare; the
+//! evaluators instead walk a [`FlatHedge`] — a first-child/next-sibling
+//! arena with parent links — because Algorithm 1 needs, for every node,
+//! cheap access to its siblings in both directions and a stable node
+//! identity to attach states, classes and query answers to.
+//!
+//! Node identity is a dense [`NodeId`] (preorder index). Dewey addresses
+//! (footnote 3 of the paper) are derivable on demand.
+
+use crate::hedge::{Hedge, Tree};
+use crate::symbols::{SubId, SymId, VarId};
+
+/// Dense node identifier: the node's preorder (document-order) index.
+pub type NodeId = u32;
+
+/// The label of a flat node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlatLabel {
+    /// A Σ node.
+    Sym(SymId),
+    /// A variable leaf.
+    Var(VarId),
+    /// A substitution-symbol leaf.
+    Subst(SubId),
+}
+
+/// Sentinel for "no node".
+pub const NIL: NodeId = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct FlatNode {
+    label: FlatLabel,
+    parent: NodeId,
+    first_child: NodeId,
+    next_sibling: NodeId,
+    prev_sibling: NodeId,
+}
+
+/// A hedge flattened into an arena, in document (preorder) order.
+#[derive(Debug, Clone)]
+pub struct FlatHedge {
+    nodes: Vec<FlatNode>,
+    roots: Vec<NodeId>,
+}
+
+impl FlatHedge {
+    /// Flatten a recursive hedge.
+    pub fn from_hedge(h: &Hedge) -> FlatHedge {
+        let mut out = FlatHedge {
+            nodes: Vec::with_capacity(h.size()),
+            roots: Vec::with_capacity(h.len()),
+        };
+        let mut prev = NIL;
+        for t in h.trees() {
+            let id = out.push_tree(t, NIL, prev);
+            out.roots.push(id);
+            prev = id;
+        }
+        out
+    }
+
+    fn push_tree(&mut self, t: &Tree, parent: NodeId, prev: NodeId) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let label = match t {
+            Tree::Node(a, _) => FlatLabel::Sym(*a),
+            Tree::Var(x) => FlatLabel::Var(*x),
+            Tree::Subst(z) => FlatLabel::Subst(*z),
+        };
+        self.nodes.push(FlatNode {
+            label,
+            parent,
+            first_child: NIL,
+            next_sibling: NIL,
+            prev_sibling: prev,
+        });
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = id;
+        }
+        if let Tree::Node(_, children) = t {
+            let mut cprev = NIL;
+            for c in children.trees() {
+                let cid = self.push_tree(c, id, cprev);
+                if cprev == NIL {
+                    self.nodes[id as usize].first_child = cid;
+                }
+                cprev = cid;
+            }
+        }
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The top-level nodes, left to right.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The label of `n`.
+    pub fn label(&self, n: NodeId) -> FlatLabel {
+        self.nodes[n as usize].label
+    }
+
+    /// The parent of `n` (`None` at top level).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.nodes[n as usize].parent;
+        (p != NIL).then_some(p)
+    }
+
+    /// The first child of `n`.
+    pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        let c = self.nodes[n as usize].first_child;
+        (c != NIL).then_some(c)
+    }
+
+    /// The next (younger) sibling of `n`.
+    pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        let s = self.nodes[n as usize].next_sibling;
+        (s != NIL).then_some(s)
+    }
+
+    /// The previous (elder) sibling of `n`.
+    pub fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
+        let s = self.nodes[n as usize].prev_sibling;
+        (s != NIL).then_some(s)
+    }
+
+    /// Children of `n`, left to right.
+    pub fn children(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut c = self.first_child(n);
+        while let Some(id) = c {
+            out.push(id);
+            c = self.next_sibling(id);
+        }
+        out
+    }
+
+    /// All nodes in document (preorder) order. Since construction is
+    /// preorder, this is just `0..num_nodes`.
+    pub fn preorder(&self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes.len() as NodeId
+    }
+
+    /// The Dewey address of `n` (1-based per level, as in the paper's
+    /// footnote: nodes are address–value pairs with Dewey-number addresses).
+    pub fn dewey(&self, n: NodeId) -> Vec<u32> {
+        let mut path = Vec::new();
+        let mut cur = Some(n);
+        while let Some(id) = cur {
+            let mut idx = 1u32;
+            let mut p = self.prev_sibling(id);
+            while let Some(q) = p {
+                idx += 1;
+                p = self.prev_sibling(q);
+            }
+            path.push(idx);
+            cur = self.parent(id);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Find a node by its Dewey address.
+    pub fn by_dewey(&self, addr: &[u32]) -> Option<NodeId> {
+        let mut level: Vec<NodeId> = self.roots.clone();
+        let mut found = None;
+        for &step in addr {
+            let id = *level.get(step.checked_sub(1)? as usize)?;
+            found = Some(id);
+            level = self.children(id);
+        }
+        found
+    }
+
+    /// The subhedge of `n` (Definition 21): the hedge of all descendants,
+    /// i.e. the children sequence of `n` as a recursive hedge.
+    pub fn subhedge(&self, n: NodeId) -> Hedge {
+        Hedge(self.children(n).into_iter().map(|c| self.to_tree(c)).collect())
+    }
+
+    /// Rebuild the recursive tree rooted at `n`.
+    pub fn to_tree(&self, n: NodeId) -> Tree {
+        match self.label(n) {
+            FlatLabel::Var(x) => Tree::Var(x),
+            FlatLabel::Subst(z) => Tree::Subst(z),
+            FlatLabel::Sym(a) => Tree::Node(
+                a,
+                Hedge(
+                    self.children(n)
+                        .into_iter()
+                        .map(|c| self.to_tree(c))
+                        .collect(),
+                ),
+            ),
+        }
+    }
+
+    /// Rebuild the whole recursive hedge.
+    pub fn to_hedge(&self) -> Hedge {
+        Hedge(self.roots.iter().map(|&r| self.to_tree(r)).collect())
+    }
+
+    /// The envelope of `n` (Definition 21): the whole hedge with the
+    /// subhedge of `n` removed and `η` inserted as the single child of `n`.
+    pub fn envelope(&self, n: NodeId) -> Hedge {
+        Hedge(
+            self.roots
+                .iter()
+                .map(|&r| self.envelope_tree(r, n))
+                .collect(),
+        )
+    }
+
+    fn envelope_tree(&self, cur: NodeId, target: NodeId) -> Tree {
+        match self.label(cur) {
+            FlatLabel::Var(x) => Tree::Var(x),
+            FlatLabel::Subst(z) => Tree::Subst(z),
+            FlatLabel::Sym(a) => {
+                if cur == target {
+                    Tree::Node(a, Hedge(vec![Tree::Subst(SubId::ETA)]))
+                } else {
+                    Tree::Node(
+                        a,
+                        Hedge(
+                            self.children(cur)
+                                .into_iter()
+                                .map(|c| self.envelope_tree(c, target))
+                                .collect(),
+                        ),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Elder siblings of `n`, left to right (the `u₁` of a pointed base
+    /// hedge), as full subtrees.
+    pub fn elder_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.prev_sibling(n);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.prev_sibling(id);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Younger siblings of `n`, left to right (the `u₂`).
+    pub fn younger_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.next_sibling(n);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.next_sibling(id);
+        }
+        out
+    }
+
+    /// The depth of `n`: 1 for top-level nodes.
+    pub fn node_depth(&self, n: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = self.parent(n);
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.parent(p);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Alphabet;
+    use crate::text::parse_hedge;
+
+    fn sample() -> (Alphabet, FlatHedge) {
+        let mut ab = Alphabet::new();
+        // b a⟨a⟨b x⟩ b⟩ — the Definition 21 example.
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        (ab, f)
+    }
+
+    #[test]
+    fn roundtrip_flat_to_hedge() {
+        let (mut ab, f) = sample();
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        assert_eq!(f.to_hedge(), h);
+        assert_eq!(f.num_nodes(), 6);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let (ab, f) = sample();
+        let labels: Vec<String> = f
+            .preorder()
+            .map(|n| match f.label(n) {
+                FlatLabel::Sym(s) => ab.sym_name(s).to_string(),
+                FlatLabel::Var(v) => format!("${}", ab.var_name(v)),
+                FlatLabel::Subst(_) => "%".into(),
+            })
+            .collect();
+        assert_eq!(labels, vec!["b", "a", "a", "b", "$x", "b"]);
+    }
+
+    #[test]
+    fn family_links() {
+        let (_, f) = sample();
+        // Node 2 is the inner a (first second-level node of the second
+        // top-level node).
+        assert_eq!(f.parent(2), Some(1));
+        assert_eq!(f.next_sibling(2), Some(5));
+        assert_eq!(f.prev_sibling(5), Some(2));
+        assert_eq!(f.children(2), vec![3, 4]);
+        assert_eq!(f.roots(), &[0, 1]);
+        assert_eq!(f.node_depth(0), 1);
+        assert_eq!(f.node_depth(3), 3);
+    }
+
+    #[test]
+    fn dewey_addresses() {
+        let (_, f) = sample();
+        assert_eq!(f.dewey(0), vec![1]);
+        assert_eq!(f.dewey(1), vec![2]);
+        assert_eq!(f.dewey(2), vec![2, 1]);
+        assert_eq!(f.dewey(4), vec![2, 1, 2]);
+        for n in f.preorder() {
+            assert_eq!(f.by_dewey(&f.dewey(n)), Some(n));
+        }
+        assert_eq!(f.by_dewey(&[3]), None);
+        assert_eq!(f.by_dewey(&[]), None);
+    }
+
+    #[test]
+    fn subhedge_and_envelope_match_definition_21() {
+        // "The subhedge and envelope of the first second-level node is b x
+        // and b a⟨a⟨η⟩ b⟩, respectively."
+        let (mut ab, f) = sample();
+        let sub = f.subhedge(2);
+        assert_eq!(sub, parse_hedge("b $x", &mut ab).unwrap());
+        let env = f.envelope(2);
+        let expected = parse_hedge("b a<a<%η> b>", &mut ab).unwrap();
+        assert_eq!(env, expected);
+    }
+
+    #[test]
+    fn sibling_queries() {
+        let (_, f) = sample();
+        assert_eq!(f.elder_siblings(5), vec![2]);
+        assert_eq!(f.younger_siblings(2), vec![5]);
+        assert!(f.elder_siblings(0).is_empty());
+        assert_eq!(f.elder_siblings(1), vec![0]);
+        assert!(f.younger_siblings(1).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Seeded random hedge generators.
+//!
+//! The paper names no datasets; every experiment runs on synthetic hedges
+//! whose shape parameters (node budget, depth, fanout, label distribution)
+//! are controlled here. Generators are deterministic given a seed, so bench
+//! workloads are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hedge::{Hedge, Tree};
+use crate::symbols::{SymId, VarId};
+
+/// Shape parameters for random hedges.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Approximate total node budget.
+    pub target_nodes: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Maximum children per node.
+    pub max_fanout: usize,
+    /// Number of distinct Σ labels to draw from (ids `0..num_syms`).
+    pub num_syms: u32,
+    /// Number of distinct variables to draw from (ids `0..num_vars`);
+    /// 0 disables variable leaves.
+    pub num_vars: u32,
+    /// Probability that a leaf position becomes a variable rather than a
+    /// childless Σ node.
+    pub var_leaf_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            target_nodes: 1000,
+            max_depth: 8,
+            max_fanout: 8,
+            num_syms: 4,
+            num_vars: 2,
+            var_leaf_prob: 0.3,
+        }
+    }
+}
+
+/// A seeded hedge generator.
+#[derive(Debug)]
+pub struct HedgeGen {
+    cfg: GenConfig,
+    rng: StdRng,
+}
+
+impl HedgeGen {
+    /// Create a generator with the given configuration and seed.
+    pub fn new(cfg: GenConfig, seed: u64) -> Self {
+        HedgeGen {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate one hedge of roughly `target_nodes` nodes.
+    pub fn hedge(&mut self) -> Hedge {
+        let mut budget = self.cfg.target_nodes as isize;
+        let mut trees = Vec::new();
+        while budget > 0 {
+            let t = self.tree(1, &mut budget);
+            trees.push(t);
+        }
+        Hedge(trees)
+    }
+
+    fn tree(&mut self, depth: usize, budget: &mut isize) -> Tree {
+        *budget -= 1;
+        let leafy = depth >= self.cfg.max_depth || *budget <= 0;
+        if leafy {
+            if self.cfg.num_vars > 0 && self.rng.random_bool(self.cfg.var_leaf_prob) {
+                Tree::Var(VarId(self.rng.random_range(0..self.cfg.num_vars)))
+            } else {
+                Tree::Node(SymId(self.rng.random_range(0..self.cfg.num_syms)), Hedge::empty())
+            }
+        } else {
+            let label = SymId(self.rng.random_range(0..self.cfg.num_syms));
+            let fanout = self.rng.random_range(0..=self.cfg.max_fanout);
+            let mut children = Vec::with_capacity(fanout);
+            for _ in 0..fanout {
+                if *budget <= 0 {
+                    break;
+                }
+                children.push(self.tree(depth + 1, budget));
+            }
+            Tree::Node(label, Hedge(children))
+        }
+    }
+
+    /// Generate a full-depth "spine" hedge: a single path of `depth` nodes,
+    /// each with `fanout` leaf siblings. Useful for exercising deep
+    /// ancestor-axis patterns.
+    pub fn spine(&mut self, depth: usize, fanout: usize) -> Hedge {
+        let mut inner = Hedge::empty();
+        for _ in 0..depth {
+            let mut trees = Vec::with_capacity(fanout + 1);
+            for _ in 0..fanout / 2 {
+                trees.push(Tree::Node(
+                    SymId(self.rng.random_range(0..self.cfg.num_syms)),
+                    Hedge::empty(),
+                ));
+            }
+            trees.push(Tree::Node(
+                SymId(self.rng.random_range(0..self.cfg.num_syms)),
+                inner,
+            ));
+            for _ in fanout / 2..fanout {
+                trees.push(Tree::Node(
+                    SymId(self.rng.random_range(0..self.cfg.num_syms)),
+                    Hedge::empty(),
+                ));
+            }
+            inner = Hedge(trees);
+        }
+        inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GenConfig::default();
+        let h1 = HedgeGen::new(cfg.clone(), 42).hedge();
+        let h2 = HedgeGen::new(cfg, 42).hedge();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::default();
+        let h1 = HedgeGen::new(cfg.clone(), 1).hedge();
+        let h2 = HedgeGen::new(cfg, 2).hedge();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn respects_node_budget_roughly() {
+        let cfg = GenConfig {
+            target_nodes: 5000,
+            ..GenConfig::default()
+        };
+        let h = HedgeGen::new(cfg, 7).hedge();
+        let n = h.size();
+        assert!(n >= 5000, "generated {n} nodes");
+        assert!(n < 5000 + 100, "overshoot too large: {n}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let cfg = GenConfig {
+            target_nodes: 2000,
+            max_depth: 4,
+            ..GenConfig::default()
+        };
+        let h = HedgeGen::new(cfg, 3).hedge();
+        assert!(h.depth() <= 4);
+    }
+
+    #[test]
+    fn label_ids_stay_in_range() {
+        let cfg = GenConfig {
+            num_syms: 3,
+            num_vars: 2,
+            target_nodes: 500,
+            ..GenConfig::default()
+        };
+        let h = HedgeGen::new(cfg, 9).hedge();
+        fn check(h: &Hedge) {
+            for t in h.trees() {
+                match t {
+                    Tree::Node(SymId(s), inner) => {
+                        assert!(*s < 3);
+                        check(inner);
+                    }
+                    Tree::Var(VarId(v)) => assert!(*v < 2),
+                    Tree::Subst(_) => panic!("generator never emits substitution symbols"),
+                }
+            }
+        }
+        check(&h);
+    }
+
+    #[test]
+    fn spine_has_requested_depth() {
+        let mut g = HedgeGen::new(GenConfig::default(), 5);
+        let h = g.spine(10, 4);
+        assert_eq!(h.depth(), 10);
+        // Each level contributes fanout + 1 nodes except the innermost.
+        assert!(h.size() >= 10);
+    }
+}

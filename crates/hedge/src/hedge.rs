@@ -1,0 +1,315 @@
+//! The recursive hedge representation (Definitions 1, 2, 9, 21).
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbols::{SubId, SymId, VarId};
+
+/// One tree of a hedge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tree {
+    /// `a⟨u⟩`: a Σ-labelled node over a (possibly empty) hedge.
+    Node(SymId, Hedge),
+    /// `x`: a variable leaf.
+    Var(VarId),
+    /// `z`: a substitution-symbol leaf. The paper writes the tree form
+    /// `a⟨z⟩`; here that is `Tree::Node(a, hedge![Tree::Subst(z)])`, and a
+    /// bare `Subst` also appears transiently inside pointed hedges (`η`).
+    Subst(SubId),
+}
+
+/// An ordered sequence of trees. `ε` is the empty vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hedge(pub Vec<Tree>);
+
+/// One letter of a ceil string (Definition 2): the top-level label of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CeilSym {
+    /// A Σ label.
+    Sym(SymId),
+    /// A variable.
+    Var(VarId),
+    /// A substitution symbol.
+    Subst(SubId),
+}
+
+impl Tree {
+    /// The node label if this is a Σ node.
+    pub fn label(&self) -> Option<SymId> {
+        match self {
+            Tree::Node(a, _) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The child hedge (empty for leaves).
+    pub fn children(&self) -> &[Tree] {
+        match self {
+            Tree::Node(_, h) => &h.0,
+            _ => &[],
+        }
+    }
+
+    /// Number of nodes in this tree (leaves count).
+    pub fn size(&self) -> usize {
+        match self {
+            Tree::Node(_, h) => 1 + h.size(),
+            _ => 1,
+        }
+    }
+
+    /// Height: 1 for leaves and childless nodes.
+    pub fn depth(&self) -> usize {
+        match self {
+            Tree::Node(_, h) => 1 + h.depth(),
+            _ => 1,
+        }
+    }
+
+    /// The ceil letter of this tree.
+    pub fn ceil_sym(&self) -> CeilSym {
+        match self {
+            Tree::Node(a, _) => CeilSym::Sym(*a),
+            Tree::Var(x) => CeilSym::Var(*x),
+            Tree::Subst(z) => CeilSym::Subst(*z),
+        }
+    }
+}
+
+impl Hedge {
+    /// The empty hedge `ε`.
+    pub fn empty() -> Self {
+        Hedge(Vec::new())
+    }
+
+    /// A single-tree hedge.
+    pub fn tree(t: Tree) -> Self {
+        Hedge(vec![t])
+    }
+
+    /// A leaf node `a⟨ε⟩`, abbreviated `a` in the paper.
+    pub fn leaf(a: SymId) -> Self {
+        Hedge(vec![Tree::Node(a, Hedge::empty())])
+    }
+
+    /// A node `a⟨u⟩`.
+    pub fn node(a: SymId, u: Hedge) -> Self {
+        Hedge(vec![Tree::Node(a, u)])
+    }
+
+    /// A variable leaf `x`.
+    pub fn var(x: VarId) -> Self {
+        Hedge(vec![Tree::Var(x)])
+    }
+
+    /// A substitution-symbol tree `a⟨z⟩`.
+    pub fn sub_node(a: SymId, z: SubId) -> Self {
+        Hedge(vec![Tree::Node(a, Hedge(vec![Tree::Subst(z)]))])
+    }
+
+    /// Horizontal concatenation `u v`.
+    pub fn concat(mut self, mut other: Hedge) -> Hedge {
+        self.0.append(&mut other.0);
+        self
+    }
+
+    /// Is this `ε`?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of top-level trees.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterate over the top-level trees.
+    pub fn trees(&self) -> impl Iterator<Item = &Tree> {
+        self.0.iter()
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        self.0.iter().map(Tree::size).sum()
+    }
+
+    /// Height of the hedge: 0 for `ε`, else the max tree height.
+    pub fn depth(&self) -> usize {
+        self.0.iter().map(Tree::depth).max().unwrap_or(0)
+    }
+
+    /// The ceil (Definition 2): the string of top-level labels.
+    pub fn ceil(&self) -> Vec<CeilSym> {
+        self.0.iter().map(Tree::ceil_sym).collect()
+    }
+
+    /// Does any node carry the given substitution symbol?
+    pub fn contains_sub(&self, z: SubId) -> bool {
+        self.0.iter().any(|t| match t {
+            Tree::Node(_, h) => h.contains_sub(z),
+            Tree::Subst(s) => *s == z,
+            Tree::Var(_) => false,
+        })
+    }
+
+    /// Count occurrences of the given substitution symbol.
+    pub fn count_sub(&self, z: SubId) -> usize {
+        self.0
+            .iter()
+            .map(|t| match t {
+                Tree::Node(_, h) => h.count_sub(z),
+                Tree::Subst(s) => usize::from(*s == z),
+                Tree::Var(_) => 0,
+            })
+            .sum()
+    }
+
+    /// The embedding `U ∘_z v` of Definition 10, specialized to replacing
+    /// every occurrence of `z` in `self` by (copies of) the single hedge `u`.
+    /// The general set-level embedding lives in `hedgex-core::hre` where
+    /// languages are enumerated; this hedge-level helper is the workhorse.
+    pub fn embed(&self, z: SubId, u: &Hedge) -> Hedge {
+        let mut out = Vec::with_capacity(self.0.len());
+        for t in &self.0 {
+            match t {
+                Tree::Subst(s) if *s == z => out.extend(u.0.iter().cloned()),
+                Tree::Subst(s) => out.push(Tree::Subst(*s)),
+                Tree::Var(x) => out.push(Tree::Var(*x)),
+                Tree::Node(a, h) => out.push(Tree::Node(*a, h.embed(z, u))),
+            }
+        }
+        Hedge(out)
+    }
+
+    /// Replace every occurrence of `z`, drawing a (possibly different)
+    /// replacement for each occurrence from `pick` — the "different
+    /// occurrences may be replaced by different elements" clause of
+    /// Definition 10.
+    pub fn embed_with(&self, z: SubId, pick: &mut impl FnMut() -> Hedge) -> Hedge {
+        let mut out = Vec::with_capacity(self.0.len());
+        for t in &self.0 {
+            match t {
+                Tree::Subst(s) if *s == z => out.extend(pick().0),
+                Tree::Subst(s) => out.push(Tree::Subst(*s)),
+                Tree::Var(x) => out.push(Tree::Var(*x)),
+                Tree::Node(a, h) => out.push(Tree::Node(*a, h.embed_with(z, pick))),
+            }
+        }
+        Hedge(out)
+    }
+}
+
+impl FromIterator<Tree> for Hedge {
+    fn from_iter<I: IntoIterator<Item = Tree>>(iter: I) -> Self {
+        Hedge(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Alphabet;
+
+    fn setup() -> (Alphabet, SymId, SymId, VarId, VarId) {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        let x = ab.var("x");
+        let y = ab.var("y");
+        (ab, a, b, x, y)
+    }
+
+    #[test]
+    fn paper_example_hedges() {
+        // a⟨ε⟩, a⟨x⟩, a⟨ε⟩ b⟨b⟨ε⟩ x⟩ from Section 3.
+        let (_, a, b, x, _) = setup();
+        let h1 = Hedge::leaf(a);
+        let h2 = Hedge::node(a, Hedge::var(x));
+        let h3 = Hedge::leaf(a).concat(Hedge::node(b, Hedge::leaf(b).concat(Hedge::var(x))));
+        assert_eq!(h1.size(), 1);
+        assert_eq!(h2.size(), 2);
+        assert_eq!(h3.size(), 4);
+        assert_eq!(h3.len(), 2);
+        assert_eq!(h3.depth(), 2);
+    }
+
+    #[test]
+    fn ceil_matches_paper() {
+        // ⌈a⟨x⟩⌉ = a and ⌈a b⟨b x⟩⌉ = a b.
+        let (_, a, b, x, _) = setup();
+        let h = Hedge::node(a, Hedge::var(x));
+        assert_eq!(h.ceil(), vec![CeilSym::Sym(a)]);
+        let h = Hedge::leaf(a).concat(Hedge::node(b, Hedge::leaf(b).concat(Hedge::var(x))));
+        assert_eq!(h.ceil(), vec![CeilSym::Sym(a), CeilSym::Sym(b)]);
+    }
+
+    #[test]
+    fn empty_hedge_properties() {
+        let e = Hedge::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.size(), 0);
+        assert_eq!(e.depth(), 0);
+        assert!(e.ceil().is_empty());
+    }
+
+    #[test]
+    fn concat_is_associative() {
+        let (_, a, b, x, _) = setup();
+        let u = Hedge::leaf(a);
+        let v = Hedge::var(x);
+        let w = Hedge::leaf(b);
+        let left = u.clone().concat(v.clone()).concat(w.clone());
+        let right = u.concat(v.concat(w));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn embedding_definition_10_example() {
+        // U = {a, b}, v = c⟨z⟩ c⟨z⟩: embedding a yields c⟨a⟩ c⟨a⟩.
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        let c = ab.sym("c");
+        let z = ab.sub("z");
+        let v = Hedge::sub_node(c, z).concat(Hedge::sub_node(c, z));
+        let ha = Hedge::leaf(a);
+        let hb = Hedge::leaf(b);
+        let out = v.embed(z, &ha);
+        assert_eq!(
+            out,
+            Hedge::node(c, Hedge::leaf(a)).concat(Hedge::node(c, Hedge::leaf(a)))
+        );
+        // Different occurrences may take different replacements: c⟨a⟩ c⟨b⟩.
+        let mut picks = vec![hb.clone(), ha.clone()]; // popped back-to-front
+        let out = v.embed_with(z, &mut || picks.pop().unwrap());
+        assert_eq!(
+            out,
+            Hedge::node(c, Hedge::leaf(a)).concat(Hedge::node(c, Hedge::leaf(b)))
+        );
+    }
+
+    #[test]
+    fn count_and_contains_sub() {
+        let mut ab = Alphabet::new();
+        let c = ab.sym("c");
+        let z = ab.sub("z");
+        let w = ab.sub("w");
+        let v = Hedge::sub_node(c, z).concat(Hedge::sub_node(c, z));
+        assert!(v.contains_sub(z));
+        assert!(!v.contains_sub(w));
+        assert_eq!(v.count_sub(z), 2);
+        assert_eq!(v.count_sub(w), 0);
+    }
+
+    #[test]
+    fn embed_replaces_nested_occurrences() {
+        let mut ab = Alphabet::new();
+        let c = ab.sym("c");
+        let d = ab.sym("d");
+        let z = ab.sub("z");
+        // d⟨c⟨z⟩⟩ with z := c⟨z'⟩? Use a plain leaf for clarity.
+        let v = Hedge::node(d, Hedge::sub_node(c, z));
+        let out = v.embed(z, &Hedge::leaf(d));
+        assert_eq!(out, Hedge::node(d, Hedge::node(c, Hedge::leaf(d))));
+        assert_eq!(out.count_sub(z), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Pointed hedges (Definitions 13–15, Figures 1–2).
+//!
+//! A pointed hedge is a hedge with exactly one occurrence of the
+//! distinguished substitution symbol `η`. The product `u ⊕ v` plugs `u`
+//! into `v`'s `η` (Figure 1). Every pointed hedge arising from an envelope
+//! decomposes uniquely into a sequence of *pointed base hedges*
+//! `u₁ a⟨η⟩ u₂` (Figure 2) — this decomposition is the string that pointed
+//! hedge representations are matched against.
+
+use crate::hedge::{Hedge, Tree};
+use crate::symbols::{SubId, SymId};
+
+/// A hedge with exactly one occurrence of `η`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PointedHedge(Hedge);
+
+/// A pointed base hedge `u₁ a⟨η⟩ u₂` (Definition 15): `η` is the sole child
+/// of an `a`-labelled node with η-free hedges on either side.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PointedBaseHedge {
+    /// Elder siblings and their descendants (`u₁`).
+    pub elder: Hedge,
+    /// The label of `η`'s parent.
+    pub label: SymId,
+    /// Younger siblings and their descendants (`u₂`).
+    pub younger: Hedge,
+}
+
+/// Errors constructing or decomposing pointed hedges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointedError {
+    /// The hedge contains no η.
+    MissingEta,
+    /// The hedge contains more than one η.
+    DuplicateEta,
+    /// η is at the top level or has siblings, so the hedge is not a product
+    /// of pointed base hedges (such hedges never arise as envelopes).
+    NotDecomposable,
+}
+
+impl std::fmt::Display for PointedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointedError::MissingEta => write!(f, "hedge contains no η"),
+            PointedError::DuplicateEta => write!(f, "hedge contains more than one η"),
+            PointedError::NotDecomposable => {
+                write!(f, "η is not the sole child of a node at every level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointedError {}
+
+impl PointedHedge {
+    /// Validate that `h` contains exactly one η.
+    pub fn new(h: Hedge) -> Result<PointedHedge, PointedError> {
+        match h.count_sub(SubId::ETA) {
+            0 => Err(PointedError::MissingEta),
+            1 => Ok(PointedHedge(h)),
+            _ => Err(PointedError::DuplicateEta),
+        }
+    }
+
+    /// The underlying hedge.
+    pub fn hedge(&self) -> &Hedge {
+        &self.0
+    }
+
+    /// Consume into the underlying hedge.
+    pub fn into_hedge(self) -> Hedge {
+        self.0
+    }
+
+    /// The product `self ⊕ outer` (Definition 14): replace `η` in `outer`
+    /// by `self`. The single-η invariant is preserved because `self`
+    /// contributes exactly one η into the hole.
+    pub fn product(&self, outer: &PointedHedge) -> PointedHedge {
+        PointedHedge(outer.0.embed(SubId::ETA, &self.0))
+    }
+
+    /// Close the hedge by replacing `η` with a concrete filler hedge.
+    pub fn fill(&self, filler: &Hedge) -> Hedge {
+        self.0.embed(SubId::ETA, filler)
+    }
+
+    /// Unique decomposition into pointed base hedges, innermost first
+    /// (Figure 2: "begins at the bottom and ends at the top"):
+    /// `self = b₁ ⊕ b₂ ⊕ … ⊕ b_k`.
+    pub fn decompose(&self) -> Result<Vec<PointedBaseHedge>, PointedError> {
+        let mut out = Vec::new();
+        decompose_into(&self.0, &mut out)?;
+        out.reverse(); // collected top-down; the paper's order is bottom-up
+        Ok(out)
+    }
+}
+
+/// Walk down the η path, emitting one base hedge per level (top-down).
+fn decompose_into(h: &Hedge, out: &mut Vec<PointedBaseHedge>) -> Result<(), PointedError> {
+    // Locate the top-level tree containing η.
+    let idx = h
+        .0
+        .iter()
+        .position(|t| match t {
+            Tree::Subst(z) => *z == SubId::ETA,
+            Tree::Node(_, inner) => inner.contains_sub(SubId::ETA),
+            Tree::Var(_) => false,
+        })
+        .ok_or(PointedError::MissingEta)?;
+    match &h.0[idx] {
+        // η at the top level: not a product of base hedges.
+        Tree::Subst(_) => Err(PointedError::NotDecomposable),
+        Tree::Var(_) => unreachable!("position() only selects η-containing trees"),
+        Tree::Node(a, inner) => {
+            let elder = Hedge(h.0[..idx].to_vec());
+            let younger = Hedge(h.0[idx + 1..].to_vec());
+            out.push(PointedBaseHedge {
+                elder,
+                label: *a,
+                younger,
+            });
+            if inner.0.len() == 1 && matches!(inner.0[0], Tree::Subst(SubId::ETA)) {
+                Ok(())
+            } else if inner.0.iter().any(|t| matches!(t, Tree::Subst(SubId::ETA))) {
+                // η has siblings inside this node.
+                Err(PointedError::NotDecomposable)
+            } else {
+                decompose_into(inner, out)
+            }
+        }
+    }
+}
+
+impl PointedBaseHedge {
+    /// View as a pointed hedge `u₁ a⟨η⟩ u₂`.
+    pub fn to_pointed(&self) -> PointedHedge {
+        let mid = Hedge::sub_node(self.label, SubId::ETA);
+        PointedHedge(self.elder.clone().concat(mid).concat(self.younger.clone()))
+    }
+
+    /// Recompose a decomposition (innermost first) into the pointed hedge it
+    /// came from: `b₁ ⊕ b₂ ⊕ … ⊕ b_k`.
+    pub fn compose(bases: &[PointedBaseHedge]) -> Option<PointedHedge> {
+        let mut iter = bases.iter();
+        let first = iter.next()?.to_pointed();
+        Some(iter.fold(first, |acc, b| acc.product(&b.to_pointed())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Alphabet;
+    use crate::text::parse_hedge;
+
+    fn ph(src: &str, ab: &mut Alphabet) -> PointedHedge {
+        PointedHedge::new(parse_hedge(src, ab).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn figure_1_product() {
+        // a⟨x⟩ b⟨η⟩  ⊕  a⟨x⟩ b⟨c⟨η⟩ y⟩  =  a⟨x⟩ b⟨c⟨a⟨x⟩ b⟨η⟩⟩ y⟩
+        let mut ab = Alphabet::new();
+        let u = ph("a<$x> b<%η>", &mut ab);
+        let v = ph("a<$x> b<c<%η> $y>", &mut ab);
+        let prod = u.product(&v);
+        let expected = ph("a<$x> b<c<a<$x> b<%η>> $y>", &mut ab);
+        assert_eq!(prod, expected);
+    }
+
+    #[test]
+    fn product_is_associative() {
+        let mut ab = Alphabet::new();
+        let u = ph("a<%η>", &mut ab);
+        let v = ph("b<c<%η> $y>", &mut ab);
+        let w = ph("d e<%η>", &mut ab);
+        let left = u.product(&v).product(&w);
+        let right = u.product(&v.product(&w));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn figure_2_decomposition() {
+        // a⟨x⟩ b⟨c⟨η⟩ y⟩ decomposes into c⟨η⟩ y  then  a⟨x⟩ b⟨η⟩.
+        let mut ab = Alphabet::new();
+        let u = ph("a<$x> b<c<%η> $y>", &mut ab);
+        let bases = u.decompose().unwrap();
+        assert_eq!(bases.len(), 2);
+        let c = ab.get_sym("c").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        assert_eq!(bases[0].label, c);
+        assert!(bases[0].elder.is_empty());
+        assert_eq!(bases[0].younger, parse_hedge("$y", &mut ab).unwrap());
+        assert_eq!(bases[1].label, b);
+        assert_eq!(bases[1].elder, parse_hedge("a<$x>", &mut ab).unwrap());
+        assert!(bases[1].younger.is_empty());
+    }
+
+    #[test]
+    fn base_hedge_detection() {
+        // a⟨x⟩ b⟨η⟩ is a pointed base hedge; a⟨x⟩ b⟨c⟨η⟩ y⟩ is not.
+        let mut ab = Alphabet::new();
+        let u = ph("a<$x> b<%η>", &mut ab);
+        assert_eq!(u.decompose().unwrap().len(), 1);
+        let v = ph("a<$x> b<c<%η> $y>", &mut ab);
+        assert_eq!(v.decompose().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn compose_inverts_decompose() {
+        let mut ab = Alphabet::new();
+        for src in [
+            "a<%η>",
+            "a<$x> b<%η>",
+            "a<$x> b<c<%η> $y>",
+            "b a<a<%η> b>",
+            "a<b<c<d<%η>>> e> f",
+        ] {
+            let u = ph(src, &mut ab);
+            let bases = u.decompose().unwrap();
+            let back = PointedBaseHedge::compose(&bases).unwrap();
+            assert_eq!(u, back, "compose∘decompose ≠ id on {src}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_hedges() {
+        let mut ab = Alphabet::new();
+        let no_eta = parse_hedge("a<b>", &mut ab).unwrap();
+        assert_eq!(
+            PointedHedge::new(no_eta).unwrap_err(),
+            PointedError::MissingEta
+        );
+        let two = parse_hedge("a<%η> b<%η>", &mut ab).unwrap();
+        assert_eq!(
+            PointedHedge::new(two).unwrap_err(),
+            PointedError::DuplicateEta
+        );
+    }
+
+    #[test]
+    fn non_decomposable_shapes() {
+        let mut ab = Alphabet::new();
+        // η at top level.
+        let top = ph("a %η b", &mut ab);
+        assert_eq!(top.decompose().unwrap_err(), PointedError::NotDecomposable);
+        // η with siblings inside its parent.
+        let sib = ph("a<b %η>", &mut ab);
+        assert_eq!(sib.decompose().unwrap_err(), PointedError::NotDecomposable);
+    }
+
+    #[test]
+    fn fill_replaces_eta() {
+        let mut ab = Alphabet::new();
+        let u = ph("b a<a<%η> b>", &mut ab);
+        let filler = parse_hedge("b $x", &mut ab).unwrap();
+        let filled = u.fill(&filler);
+        assert_eq!(filled, parse_hedge("b a<a<b $x> b>", &mut ab).unwrap());
+    }
+
+    #[test]
+    fn envelope_then_decompose_matches_definition_22() {
+        // Envelope of the located node in b a⟨a⟨b x⟩ b⟩ decomposes into
+        // (ε, a, b) then (b, a, ε) — the triplets of the worked example.
+        let mut ab = Alphabet::new();
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        let f = crate::flat::FlatHedge::from_hedge(&h);
+        let env = PointedHedge::new(f.envelope(2)).unwrap();
+        let bases = env.decompose().unwrap();
+        let a = ab.get_sym("a").unwrap();
+        assert_eq!(bases.len(), 2);
+        assert_eq!(
+            (bases[0].elder.clone(), bases[0].label, bases[0].younger.clone()),
+            (Hedge::empty(), a, parse_hedge("b", &mut ab).unwrap())
+        );
+        assert_eq!(
+            (bases[1].elder.clone(), bases[1].label, bases[1].younger.clone()),
+            (parse_hedge("b", &mut ab).unwrap(), a, Hedge::empty())
+        );
+    }
+}

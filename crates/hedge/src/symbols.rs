@@ -1,0 +1,257 @@
+//! Interned alphabets: Σ (node labels), X (variables), Z (substitution
+//! symbols).
+//!
+//! The paper keeps Σ, X and Z pairwise disjoint; this crate enforces that by
+//! giving each its own id type, interned in a shared [`Alphabet`]. All ids
+//! are dense `u32`s so hedges stay small and automata can index by them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A symbol of Σ: the label of an internal node `a⟨u⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymId(pub u32);
+
+/// A variable of X: the label of a leaf node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// A substitution symbol of Z: the embedding target of Definitions 9–10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubId(pub u32);
+
+impl SubId {
+    /// The distinguished substitution symbol `η` of pointed hedges
+    /// (Definition 13). Reserved; [`Alphabet`] never hands it out.
+    pub const ETA: SubId = SubId(u32::MAX);
+}
+
+impl std::fmt::Display for SymId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "$v{}", self.0)
+    }
+}
+impl std::fmt::Display for SubId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == SubId::ETA {
+            write!(f, "%η")
+        } else {
+            write!(f, "%z{}", self.0)
+        }
+    }
+}
+
+/// Shared interner for the three name spaces.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Alphabet {
+    syms: Vec<String>,
+    vars: Vec<String>,
+    subs: Vec<String>,
+    #[serde(skip)]
+    sym_idx: HashMap<String, SymId>,
+    #[serde(skip)]
+    var_idx: HashMap<String, VarId>,
+    #[serde(skip)]
+    sub_idx: HashMap<String, SubId>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Intern a Σ symbol name.
+    pub fn sym(&mut self, name: &str) -> SymId {
+        if let Some(&id) = self.sym_idx.get(name) {
+            return id;
+        }
+        let id = SymId(self.syms.len() as u32);
+        self.syms.push(name.to_string());
+        self.sym_idx.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern a variable name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.var_idx.get(name) {
+            return id;
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(name.to_string());
+        self.var_idx.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern a substitution-symbol name.
+    pub fn sub(&mut self, name: &str) -> SubId {
+        if let Some(&id) = self.sub_idx.get(name) {
+            return id;
+        }
+        let id = SubId(self.subs.len() as u32);
+        assert!(id != SubId::ETA, "substitution-symbol space exhausted");
+        self.subs.push(name.to_string());
+        self.sub_idx.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a Σ symbol without interning.
+    pub fn get_sym(&self, name: &str) -> Option<SymId> {
+        self.sym_idx.get(name).copied()
+    }
+
+    /// Look up a variable without interning.
+    pub fn get_var(&self, name: &str) -> Option<VarId> {
+        self.var_idx.get(name).copied()
+    }
+
+    /// Look up a substitution symbol without interning.
+    pub fn get_sub(&self, name: &str) -> Option<SubId> {
+        self.sub_idx.get(name).copied()
+    }
+
+    /// The name of a Σ symbol.
+    pub fn sym_name(&self, id: SymId) -> &str {
+        &self.syms[id.0 as usize]
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.vars[id.0 as usize]
+    }
+
+    /// The name of a substitution symbol (`η` for the reserved one).
+    pub fn sub_name(&self, id: SubId) -> &str {
+        if id == SubId::ETA {
+            "η"
+        } else {
+            &self.subs[id.0 as usize]
+        }
+    }
+
+    /// Number of interned Σ symbols.
+    pub fn num_syms(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Number of interned variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of interned substitution symbols.
+    pub fn num_subs(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// All Σ symbols, in interning order.
+    pub fn syms(&self) -> impl Iterator<Item = SymId> + '_ {
+        (0..self.syms.len() as u32).map(SymId)
+    }
+
+    /// All variables, in interning order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// All substitution symbols, in interning order.
+    pub fn subs(&self) -> impl Iterator<Item = SubId> + '_ {
+        (0..self.subs.len() as u32).map(SubId)
+    }
+
+    /// Rebuild the lookup maps (needed after deserialization, since the
+    /// reverse indices are skipped on the wire).
+    pub fn rebuild_index(&mut self) {
+        self.sym_idx = self
+            .syms
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), SymId(i as u32)))
+            .collect();
+        self.var_idx = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), VarId(i as u32)))
+            .collect();
+        self.sub_idx = self
+            .subs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), SubId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let a1 = ab.sym("section");
+        let a2 = ab.sym("section");
+        assert_eq!(a1, a2);
+        assert_eq!(ab.num_syms(), 1);
+        assert_eq!(ab.sym_name(a1), "section");
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let mut ab = Alphabet::new();
+        let s = ab.sym("x");
+        let v = ab.var("x");
+        let z = ab.sub("x");
+        assert_eq!(s.0, 0);
+        assert_eq!(v.0, 0);
+        assert_eq!(z.0, 0);
+        assert_eq!(ab.sym_name(s), ab.var_name(v));
+        assert_eq!(ab.num_syms() + ab.num_vars() + ab.num_subs(), 3);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut ab = Alphabet::new();
+        ab.sym("a");
+        assert!(ab.get_sym("a").is_some());
+        assert!(ab.get_sym("b").is_none());
+        assert!(ab.get_var("a").is_none());
+    }
+
+    #[test]
+    fn eta_is_reserved() {
+        assert_eq!(SubId::ETA.to_string(), "%η");
+        let mut ab = Alphabet::new();
+        let z = ab.sub("z");
+        assert_ne!(z, SubId::ETA);
+        assert_eq!(ab.sub_name(SubId::ETA), "η");
+    }
+
+    #[test]
+    fn iteration_order_is_interning_order() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        let collected: Vec<SymId> = ab.syms().collect();
+        assert_eq!(collected, vec![a, b]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut ab = Alphabet::new();
+        ab.sym("a");
+        ab.var("x");
+        let json = serde_json::to_string(&ab).unwrap();
+        let mut back: Alphabet = serde_json::from_str(&json).unwrap();
+        assert!(back.get_sym("a").is_none()); // index skipped on the wire
+        back.rebuild_index();
+        assert_eq!(back.get_sym("a"), Some(SymId(0)));
+        assert_eq!(back.get_var("x"), Some(VarId(0)));
+    }
+}

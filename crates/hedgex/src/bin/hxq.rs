@@ -1,0 +1,142 @@
+//! `hxq` — query XML documents with extended path expressions.
+//!
+//! ```text
+//! hxq --path  'article section* figure'  doc.xml     # classical path expr
+//! hxq --phr   '[…;figure;…][…]'          doc.xml     # full PHR syntax
+//! hxq --subhedge 'caption<$#text>' --path '…' doc.xml # select(e1, e2)
+//! hxq … --mark                                        # print marked XML
+//! hxq … -                                             # read from stdin
+//! ```
+//!
+//! Prints the Dewey addresses of located nodes (one per line), or with
+//! `--mark` the whole document with `hx:match="1"` on matches.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use hedgex::prelude::*;
+
+struct Args {
+    path: Option<String>,
+    phr: Option<String>,
+    subhedge: Option<String>,
+    mark: bool,
+    keep_attrs: bool,
+    file: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hxq (--path EXPR | --phr EXPR) [--subhedge HRE] [--mark] [--attrs] FILE|-\n\
+         \n\
+         --path EXPR      classical path expression (root-to-node), e.g. 'article section* figure'\n\
+         --phr EXPR       pointed hedge representation, e.g. '[e1 ; name ; e2][…]*'\n\
+         --subhedge HRE   additionally require the node's content to match (select(e1, e2))\n\
+         --mark           print the document with hx:match=\"1\" on located nodes\n\
+         --attrs          map attributes to attr:name children (queryable)\n\
+         FILE             an XML file, or '-' for stdin"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut out = Args {
+        path: None,
+        phr: None,
+        subhedge: None,
+        mark: false,
+        keep_attrs: false,
+        file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--path" => out.path = Some(it.next().ok_or_else(usage)?),
+            "--phr" => out.phr = Some(it.next().ok_or_else(usage)?),
+            "--subhedge" => out.subhedge = Some(it.next().ok_or_else(usage)?),
+            "--mark" => out.mark = true,
+            "--attrs" => out.keep_attrs = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if out.file.is_none() => out.file = Some(arg),
+            _ => return Err(usage()),
+        }
+    }
+    if out.file.is_none() || (out.path.is_none() && out.phr.is_none()) {
+        return Err(usage());
+    }
+    Ok(out)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let src = match args.file.as_deref() {
+        Some("-") => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("stdin: {e}"))?;
+            s
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => unreachable!("validated"),
+    };
+
+    let mut ab = Alphabet::new();
+    let doc = parse_xml(&src).map_err(|e| e.to_string())?;
+    let hedge = to_hedge(
+        &doc,
+        &mut ab,
+        HedgeConfig {
+            keep_text: true,
+            keep_attrs: args.keep_attrs,
+        },
+    );
+    let flat = FlatHedge::from_hedge(&hedge);
+
+    // Envelope condition.
+    let mut hits: Vec<u32> = if let Some(p) = &args.path {
+        let path = parse_path(p, &mut ab).map_err(|e| e.to_string())?;
+        path.locate(&flat)
+    } else {
+        let phr = parse_phr(args.phr.as_deref().expect("validated"), &mut ab)
+            .map_err(|e| e.to_string())?;
+        let compiled = CompiledPhr::compile(&phr);
+        two_pass::locate(&compiled, &flat)
+    };
+
+    // Optional subhedge condition.
+    if let Some(e1) = &args.subhedge {
+        let e = hedgex::core::parse_hre(e1, &mut ab).map_err(|e| e.to_string())?;
+        let dha = hedgex::core::mark_down::compile_to_dha(&e);
+        let marks = hedgex::core::mark_run(&dha, &flat);
+        hits.retain(|&n| marks[n as usize]);
+    }
+
+    if args.mark {
+        let mut marks = vec![false; flat.num_nodes()];
+        for &n in &hits {
+            marks[n as usize] = true;
+        }
+        print!("{}", write_xml(&flat, &ab, Some(&marks)));
+    } else {
+        for &n in &hits {
+            let dewey: Vec<String> = flat.dewey(n).iter().map(u32::to_string).collect();
+            println!("/{}", dewey.join("/"));
+        }
+    }
+    eprintln!("{} node(s) located", hits.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hxq: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # hedgex — Extended Path Expressions for XML, batteries included
+//!
+//! Facade crate re-exporting the whole stack of the PODS 2001
+//! reproduction (Murata, *Extended Path Expressions for XML*):
+//!
+//! * [`automata`] — symbolic string automata (NFA/DFA/regex; the horizontal
+//!   machinery every hedge automaton delegates to);
+//! * [`hedge`] — hedges, pointed hedges, parsing, generators;
+//! * [`ha`] — hedge automata (deterministic & non-deterministic),
+//!   determinization, products, analyses;
+//! * [`core`] — the paper's contribution: hedge regular expressions,
+//!   pointed hedge representations, selection queries, two-pass linear
+//!   evaluation, match-identifying automata, schema transformation;
+//! * [`xml`] — XML parsing/serialization and synthetic corpora;
+//! * [`baseline`] — quadratic/interpretive baselines for benchmarking.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and the `hedgex-core`
+//! crate docs for the paper-to-module map.
+
+pub use hedgex_automata as automata;
+pub use hedgex_baseline as baseline;
+pub use hedgex_core as core;
+pub use hedgex_ha as ha;
+pub use hedgex_hedge as hedge;
+pub use hedgex_xml as xml;
+
+/// Everything most programs need, one import away.
+pub mod prelude {
+    pub use hedgex_core::hre::parse_hre;
+    pub use hedgex_core::path_expr::parse_path;
+    pub use hedgex_core::phr::parse_phr;
+    pub use hedgex_core::query::{CompiledSelect, SelectQuery};
+    pub use hedgex_core::schema::transform_select;
+    pub use hedgex_core::two_pass;
+    pub use hedgex_core::CompiledPhr;
+    pub use hedgex_ha::{determinize, Dha, Nha};
+    pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
+    pub use hedgex_xml::{parse_xml, to_hedge, write_xml, HedgeConfig};
+}

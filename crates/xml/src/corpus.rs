@@ -1,0 +1,204 @@
+//! Synthetic document corpora.
+//!
+//! The paper's motivating examples are document-structured XML (sections
+//! containing sections containing figures…). These generators produce
+//! DocBook-flavoured hedges with controlled size, depth and element mix —
+//! the substitution for the unnamed real corpora (DESIGN.md §5). Seeded and
+//! deterministic, so every benchmark run sees identical documents.
+
+use hedgex_hedge::{Alphabet, Hedge, SymId, Tree, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element names used by the DocBook-flavoured generator, in interning
+/// order: `article`, `section`, `title`, `para`, `figure`, `caption`,
+/// `table`, `note`.
+pub const DOCBOOK_SYMS: [&str; 8] = [
+    "article", "section", "title", "para", "figure", "caption", "table", "note",
+];
+
+/// Shape parameters for the DocBook-flavoured generator.
+#[derive(Debug, Clone)]
+pub struct DocbookConfig {
+    /// Approximate total node count.
+    pub target_nodes: usize,
+    /// Maximum section nesting depth.
+    pub max_depth: usize,
+    /// Maximum children of a section.
+    pub max_fanout: usize,
+    /// Probability that a body slot is a nested section (vs leaf content).
+    pub section_prob: f64,
+}
+
+impl Default for DocbookConfig {
+    fn default() -> Self {
+        DocbookConfig {
+            target_nodes: 10_000,
+            max_depth: 8,
+            max_fanout: 10,
+            section_prob: 0.3,
+        }
+    }
+}
+
+struct Ids {
+    article: SymId,
+    section: SymId,
+    title: SymId,
+    para: SymId,
+    figure: SymId,
+    caption: SymId,
+    table: SymId,
+    note: SymId,
+    text: VarId,
+}
+
+/// Generate one DocBook-flavoured document (a single `article` tree).
+///
+/// Structure: an `article` holds a `title` and sections; each `section`
+/// holds a `title` then a mix of `para`, `figure⟨caption⟩`, `table`, `note`
+/// and nested `section`s. `title`, `para` and `caption` contain one text
+/// leaf.
+pub fn docbook(cfg: &DocbookConfig, seed: u64, ab: &mut Alphabet) -> Hedge {
+    let ids = Ids {
+        article: ab.sym(DOCBOOK_SYMS[0]),
+        section: ab.sym(DOCBOOK_SYMS[1]),
+        title: ab.sym(DOCBOOK_SYMS[2]),
+        para: ab.sym(DOCBOOK_SYMS[3]),
+        figure: ab.sym(DOCBOOK_SYMS[4]),
+        caption: ab.sym(DOCBOOK_SYMS[5]),
+        table: ab.sym(DOCBOOK_SYMS[6]),
+        note: ab.sym(DOCBOOK_SYMS[7]),
+        text: ab.var(crate::TEXT_VAR),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut budget = cfg.target_nodes as isize;
+    let mut sections = Vec::new();
+    sections.push(title(&ids, &mut budget));
+    while budget > 0 {
+        sections.push(section(&ids, cfg, &mut rng, 1, &mut budget));
+    }
+    Hedge(vec![Tree::Node(ids.article, Hedge(sections))])
+}
+
+fn title(ids: &Ids, budget: &mut isize) -> Tree {
+    *budget -= 2;
+    Tree::Node(ids.title, Hedge(vec![Tree::Var(ids.text)]))
+}
+
+fn section(ids: &Ids, cfg: &DocbookConfig, rng: &mut StdRng, depth: usize, budget: &mut isize) -> Tree {
+    *budget -= 1;
+    let mut body = vec![title(ids, budget)];
+    let fanout = rng.random_range(1..=cfg.max_fanout);
+    for _ in 0..fanout {
+        if *budget <= 0 {
+            break;
+        }
+        if depth < cfg.max_depth && rng.random_bool(cfg.section_prob) {
+            body.push(section(ids, cfg, rng, depth + 1, budget));
+        } else {
+            body.push(block(ids, rng, budget));
+        }
+    }
+    Tree::Node(ids.section, Hedge(body))
+}
+
+fn block(ids: &Ids, rng: &mut StdRng, budget: &mut isize) -> Tree {
+    match rng.random_range(0..6u32) {
+        0..=2 => {
+            *budget -= 2;
+            Tree::Node(ids.para, Hedge(vec![Tree::Var(ids.text)]))
+        }
+        3 => {
+            *budget -= 3;
+            Tree::Node(
+                ids.figure,
+                Hedge(vec![Tree::Node(
+                    ids.caption,
+                    Hedge(vec![Tree::Var(ids.text)]),
+                )]),
+            )
+        }
+        4 => {
+            *budget -= 1;
+            Tree::Node(ids.table, Hedge::empty())
+        }
+        _ => {
+            *budget -= 2;
+            Tree::Node(ids.note, Hedge(vec![Tree::Var(ids.text)]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut ab1 = Alphabet::new();
+        let mut ab2 = Alphabet::new();
+        let cfg = DocbookConfig {
+            target_nodes: 500,
+            ..DocbookConfig::default()
+        };
+        assert_eq!(docbook(&cfg, 1, &mut ab1), docbook(&cfg, 1, &mut ab2));
+    }
+
+    #[test]
+    fn roughly_hits_node_target() {
+        let mut ab = Alphabet::new();
+        for target in [100usize, 1000, 10_000] {
+            let cfg = DocbookConfig {
+                target_nodes: target,
+                ..DocbookConfig::default()
+            };
+            let h = docbook(&cfg, 42, &mut ab);
+            let n = h.size();
+            assert!(
+                n >= target && n < target + target / 2 + 50,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_depth_bound() {
+        let mut ab = Alphabet::new();
+        let cfg = DocbookConfig {
+            target_nodes: 2000,
+            max_depth: 3,
+            ..DocbookConfig::default()
+        };
+        let h = docbook(&cfg, 7, &mut ab);
+        // article + sections ≤ 3 deep + block + text.
+        assert!(h.depth() <= 3 + 4);
+    }
+
+    #[test]
+    fn single_article_root() {
+        let mut ab = Alphabet::new();
+        let h = docbook(&DocbookConfig::default(), 3, &mut ab);
+        assert_eq!(h.len(), 1);
+        let article = ab.get_sym("article").unwrap();
+        assert_eq!(h.0[0].label(), Some(article));
+    }
+
+    #[test]
+    fn contains_figures_and_sections() {
+        let mut ab = Alphabet::new();
+        let h = docbook(&DocbookConfig::default(), 9, &mut ab);
+        let fig = ab.get_sym("figure").unwrap();
+        let sec = ab.get_sym("section").unwrap();
+        fn count(h: &Hedge, s: SymId) -> usize {
+            h.trees()
+                .map(|t| match t {
+                    Tree::Node(a, inner) => usize::from(*a == s) + count(inner, s),
+                    _ => 0,
+                })
+                .sum()
+        }
+        assert!(count(&h, fig) > 10);
+        assert!(count(&h, sec) > 10);
+    }
+}

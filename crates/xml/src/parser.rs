@@ -1,0 +1,391 @@
+//! A small XML 1.0 subset parser.
+//!
+//! Hand-rolled and dependency-free on purpose: the repository implements
+//! every substrate the paper needs from scratch. Covers the features real
+//! document corpora exercise structurally — elements, attributes, text,
+//! comments, PIs, CDATA, predefined and numeric entities — and rejects
+//! malformed input with byte-accurate errors. DTDs are not supported.
+
+/// A parsed XML node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// An element with its attributes (in document order) and children.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes, in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<XmlNode>,
+    },
+    /// Character data (entity references already resolved).
+    Text(String),
+}
+
+/// An XML parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse a document (or fragment: multiple top-level elements are allowed,
+/// matching the hedge model). Comments, PIs and the XML declaration are
+/// consumed and dropped.
+pub fn parse_xml(src: &str) -> Result<Vec<XmlNode>, XmlError> {
+    let mut p = P { src, pos: 0 };
+    let nodes = p.nodes(None)?;
+    p.skip_misc();
+    if p.pos != src.len() {
+        return Err(p.err("trailing content"));
+    }
+    // Top-level character data (beyond whitespace) is not well-formed;
+    // whitespace between roots is dropped.
+    let mut roots = Vec::with_capacity(nodes.len());
+    for n in nodes {
+        match n {
+            XmlNode::Text(t) if t.trim().is_empty() => {}
+            XmlNode::Text(_) => {
+                return Err(XmlError {
+                    pos: 0,
+                    msg: "character data at the top level".into(),
+                })
+            }
+            el => roots.push(el),
+        }
+    }
+    Ok(roots)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skip comments, PIs and the XML declaration between nodes at the top
+    /// level.
+    fn skip_misc(&mut self) {
+        loop {
+            let before = self.pos;
+            self.skip_ws();
+            if self.rest().starts_with("<?") {
+                if let Some(end) = self.rest().find("?>") {
+                    self.pos += end + 2;
+                    continue;
+                }
+            }
+            if self.rest().starts_with("<!--") {
+                if let Some(end) = self.rest().find("-->") {
+                    self.pos += end + 3;
+                    continue;
+                }
+            }
+            if self.pos == before {
+                return;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c)
+            if c.is_alphanumeric() || "_-.:@#".contains(c))
+        {
+            self.bump();
+        }
+        if self.pos == start {
+            Err(self.err("expected a name"))
+        } else {
+            Ok(self.src[start..self.pos].to_string())
+        }
+    }
+
+    /// Parse sibling nodes until `</` (when inside `parent`) or EOF.
+    fn nodes(&mut self, parent: Option<&str>) -> Result<Vec<XmlNode>, XmlError> {
+        let mut out: Vec<XmlNode> = Vec::new();
+        let mut text = String::new();
+        macro_rules! flush_text {
+            () => {
+                if !text.is_empty() {
+                    out.push(XmlNode::Text(std::mem::take(&mut text)));
+                }
+            };
+        }
+        loop {
+            match self.peek() {
+                None => {
+                    if parent.is_some() {
+                        return Err(self.err("unexpected end of input inside element"));
+                    }
+                    flush_text!();
+                    return Ok(out);
+                }
+                Some('<') => {
+                    if self.rest().starts_with("</") {
+                        flush_text!();
+                        return Ok(out);
+                    }
+                    if self.rest().starts_with("<!--") {
+                        match self.rest().find("-->") {
+                            Some(end) => self.pos += end + 3,
+                            None => return Err(self.err("unterminated comment")),
+                        }
+                        continue;
+                    }
+                    if self.rest().starts_with("<![CDATA[") {
+                        self.pos += "<![CDATA[".len();
+                        match self.rest().find("]]>") {
+                            Some(end) => {
+                                text.push_str(&self.rest()[..end]);
+                                self.pos += end + 3;
+                            }
+                            None => return Err(self.err("unterminated CDATA")),
+                        }
+                        continue;
+                    }
+                    if self.rest().starts_with("<?") {
+                        match self.rest().find("?>") {
+                            Some(end) => self.pos += end + 2,
+                            None => return Err(self.err("unterminated PI")),
+                        }
+                        continue;
+                    }
+                    if self.rest().starts_with("<!") {
+                        return Err(self.err("DTD declarations are not supported"));
+                    }
+                    flush_text!();
+                    out.push(self.element()?);
+                }
+                Some('&') => {
+                    text.push(self.entity()?);
+                }
+                Some(_) => {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<XmlNode, XmlError> {
+        assert!(self.eat("<"));
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    if !self.eat(">") {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    return Ok(XmlNode::Element {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                    });
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let k = self.name()?;
+                    self.skip_ws();
+                    if !self.eat("=") {
+                        return Err(self.err(format!("expected '=' after attribute '{k}'")));
+                    }
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ ('"' | '\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    let mut v = String::new();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated attribute value")),
+                            Some(c) if c == quote => {
+                                self.bump();
+                                break;
+                            }
+                            Some('&') => v.push(self.entity()?),
+                            Some(_) => v.push(self.bump().expect("peeked")),
+                        }
+                    }
+                    attrs.push((k, v));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        let children = self.nodes(Some(&name))?;
+        if !self.eat("</") {
+            return Err(self.err(format!("expected closing tag for '{name}'")));
+        }
+        let close = self.name()?;
+        if close != name {
+            return Err(self.err(format!("mismatched closing tag: '{close}' vs '{name}'")));
+        }
+        self.skip_ws();
+        if !self.eat(">") {
+            return Err(self.err("expected '>' in closing tag"));
+        }
+        Ok(XmlNode::Element {
+            name,
+            attrs,
+            children,
+        })
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        assert!(self.eat("&"));
+        let end = self
+            .rest()
+            .find(';')
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
+        let body = &self.rest()[..end];
+        let c = match body {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                u32::from_str_radix(&body[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| self.err(format!("bad character reference '&{body};'")))?
+            }
+            _ if body.starts_with('#') => body[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err(format!("bad character reference '&{body};'")))?,
+            _ => return Err(self.err(format!("unknown entity '&{body};'"))),
+        };
+        self.pos += end + 1;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(name: &str, children: Vec<XmlNode>) -> XmlNode {
+        XmlNode::Element {
+            name: name.into(),
+            attrs: vec![],
+            children,
+        }
+    }
+
+    #[test]
+    fn basic_nesting() {
+        let doc = parse_xml("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(
+            doc,
+            vec![el("a", vec![el("b", vec![]), el("c", vec![el("d", vec![])])])]
+        );
+    }
+
+    #[test]
+    fn text_and_entities() {
+        let doc = parse_xml("<p>a &lt;b&gt; &amp; &#65;&#x42;</p>").unwrap();
+        assert_eq!(
+            doc,
+            vec![el("p", vec![XmlNode::Text("a <b> & AB".into())])]
+        );
+    }
+
+    #[test]
+    fn attributes() {
+        let doc = parse_xml(r#"<img src="x.png" alt='an &quot;image&quot;'/>"#).unwrap();
+        match &doc[0] {
+            XmlNode::Element { name, attrs, .. } => {
+                assert_eq!(name, "img");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("src".to_string(), "x.png".to_string()),
+                        ("alt".to_string(), "an \"image\"".to_string())
+                    ]
+                );
+            }
+            _ => panic!("expected element"),
+        }
+    }
+
+    #[test]
+    fn comments_pis_cdata() {
+        let doc = parse_xml(
+            "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><![CDATA[1<2]]><?pi data?></a>",
+        )
+        .unwrap();
+        assert_eq!(doc, vec![el("a", vec![XmlNode::Text("1<2".into())])]);
+    }
+
+    #[test]
+    fn fragments_with_multiple_roots() {
+        let doc = parse_xml("<a/><b/>").unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></b>").is_err());
+        assert!(parse_xml("<a attr></a>").is_err());
+        assert!(parse_xml("<a>&unknown;</a>").is_err());
+        assert!(parse_xml("<a><!DOCTYPE x></a>").is_err());
+        assert!(parse_xml("text outside <a/>").is_err());
+        assert!(parse_xml("<a/><junk").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let e = parse_xml("<a></b>").unwrap_err();
+        assert!(e.pos >= 3, "position {} should be at the closing tag", e.pos);
+        assert!(e.to_string().contains("mismatched"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Serializing hedges back to XML, with query results made visible.
+//!
+//! Query answers are node sets; for human consumption (and for the example
+//! binaries) the writer emits the document with located nodes carrying an
+//! `hx:match="1"` attribute.
+
+use hedgex_hedge::flat::FlatLabel;
+use hedgex_hedge::{Alphabet, FlatHedge, NodeId};
+
+use crate::TEXT_VAR;
+
+/// Serialize a flat hedge to XML. `marks`, if given, flags nodes to
+/// decorate with `hx:match="1"` (indexed by [`NodeId`]).
+///
+/// Text leaves (`#text` variables) are rendered as the placeholder `·`;
+/// other variables render as their name; substitution symbols as `%name`
+/// (both inside comments, since they have no XML equivalent).
+pub fn write_xml(h: &FlatHedge, ab: &Alphabet, marks: Option<&[bool]>) -> String {
+    let mut out = String::new();
+    for &r in h.roots() {
+        write_node(h, ab, marks, r, &mut out, 0);
+    }
+    out
+}
+
+fn is_marked(marks: Option<&[bool]>, n: NodeId) -> bool {
+    marks.is_some_and(|m| m[n as usize])
+}
+
+fn write_node(
+    h: &FlatHedge,
+    ab: &Alphabet,
+    marks: Option<&[bool]>,
+    n: NodeId,
+    out: &mut String,
+    depth: usize,
+) {
+    let pad = "  ".repeat(depth);
+    match h.label(n) {
+        FlatLabel::Var(x) => {
+            let name = ab.var_name(x);
+            if name == TEXT_VAR {
+                out.push_str(&format!("{pad}·\n"));
+            } else {
+                out.push_str(&format!("{pad}<!-- ${name} -->\n"));
+            }
+        }
+        FlatLabel::Subst(z) => {
+            out.push_str(&format!("{pad}<!-- %{} -->\n", ab.sub_name(z)));
+        }
+        FlatLabel::Sym(a) => {
+            let name = escape_name(ab.sym_name(a));
+            let attr = if is_marked(marks, n) {
+                " hx:match=\"1\""
+            } else {
+                ""
+            };
+            let children = h.children(n);
+            if children.is_empty() {
+                out.push_str(&format!("{pad}<{name}{attr}/>\n"));
+            } else {
+                out.push_str(&format!("{pad}<{name}{attr}>\n"));
+                for c in children {
+                    write_node(h, ab, marks, c, out, depth + 1);
+                }
+                out.push_str(&format!("{pad}</{name}>\n"));
+            }
+        }
+    }
+}
+
+fn escape_name(name: &str) -> String {
+    // Interned names come from the parser or from user code; strip anything
+    // XML would reject in a tag name.
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || "_-.:@#".contains(c) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_xml, to_hedge, HedgeConfig};
+
+    #[test]
+    fn roundtrip_structure() {
+        let mut ab = Alphabet::new();
+        let doc = parse_xml("<a><b/><c><d/>text</c></a>").unwrap();
+        let h = to_hedge(&doc, &mut ab, HedgeConfig::default());
+        let f = FlatHedge::from_hedge(&h);
+        let s = write_xml(&f, &ab, None);
+        // Re-parse the output; same structure (text placeholders count as
+        // text).
+        let doc2 = parse_xml(&s).unwrap();
+        let mut ab2 = Alphabet::new();
+        let h2 = to_hedge(&doc2, &mut ab2, HedgeConfig::default());
+        assert_eq!(h.size(), h2.size());
+    }
+
+    #[test]
+    fn marks_become_attributes() {
+        let mut ab = Alphabet::new();
+        let doc = parse_xml("<a><b/><b/></a>").unwrap();
+        let h = to_hedge(&doc, &mut ab, HedgeConfig::default());
+        let f = FlatHedge::from_hedge(&h);
+        let marks = vec![false, true, false];
+        let s = write_xml(&f, &ab, Some(&marks));
+        assert_eq!(s.matches("hx:match").count(), 1);
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let mut ab = Alphabet::new();
+        let doc = parse_xml("<a/>").unwrap();
+        let h = to_hedge(&doc, &mut ab, HedgeConfig::default());
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(write_xml(&f, &ab, None).trim(), "<a/>");
+    }
+}

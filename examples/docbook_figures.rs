@@ -1,0 +1,74 @@
+//! Mini-experiment: the three evaluators on a synthetic DocBook corpus.
+//!
+//! ```sh
+//! cargo run --release --example docbook_figures [nodes]
+//! ```
+//!
+//! Generates a DocBook-flavoured document (default ~20 000 nodes), runs the
+//! introduction's figure-before-table query with (1) Algorithm 1 (linear),
+//! (2) the quadratic per-node baseline, and (3) the ancestor-only path
+//! expression, and prints a result/latency table — a one-shot preview of
+//! benchmark experiments E5 and E8 (see EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use hedgex::baseline::quadratic_locate_phr;
+use hedgex::prelude::*;
+use hedgex_bench::{doc_workload, figure_before_table_phr, figure_path};
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let mut w = doc_workload(nodes, 42);
+    println!("document: {} nodes (seeded DocBook corpus)", w.nodes);
+
+    let phr = figure_before_table_phr(&mut w.ab);
+    let t = Instant::now();
+    let compiled = CompiledPhr::compile(&phr);
+    println!(
+        "PHR compiled in {:?} (M: {} states, ≡: {} classes)",
+        t.elapsed(),
+        compiled.m.num_states(),
+        compiled.classes.num_classes()
+    );
+
+    let t = Instant::now();
+    let fast = two_pass::locate(&compiled, &w.doc);
+    let fast_t = t.elapsed();
+
+    let t = Instant::now();
+    let slow = quadratic_locate_phr(&compiled, &w.doc);
+    let slow_t = t.elapsed();
+    assert_eq!(fast, slow);
+
+    let path = figure_path(&mut w.ab);
+    let t = Instant::now();
+    let path_hits = path.locate(&w.doc);
+    let path_t = t.elapsed();
+
+    println!("\n{:<38} {:>9} {:>14}", "evaluator", "matches", "latency");
+    println!(
+        "{:<38} {:>9} {:>14?}",
+        "Algorithm 1 (two-pass, linear)",
+        fast.len(),
+        fast_t
+    );
+    println!(
+        "{:<38} {:>9} {:>14?}",
+        "per-node baseline (quadratic)",
+        slow.len(),
+        slow_t
+    );
+    println!(
+        "{:<38} {:>9} {:>14?}",
+        "path expr article/section*/figure",
+        path_hits.len(),
+        path_t
+    );
+    println!(
+        "\nspeedup of Algorithm 1 over the quadratic baseline: {:.1}×",
+        slow_t.as_secs_f64() / fast_t.as_secs_f64()
+    );
+}

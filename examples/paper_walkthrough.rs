@@ -1,0 +1,115 @@
+//! Paper walkthrough: every worked example from the paper, executed.
+//!
+//! ```sh
+//! cargo run --example paper_walkthrough
+//! ```
+//!
+//! Reproduces, in order:
+//!
+//! * Section 3 — the automata `M₀` (deterministic) and `M₁`
+//!   (non-deterministic) on the paper's hedges (experiment E1);
+//! * Figure 1 — the product of pointed hedges;
+//! * Figure 2 — decomposition into pointed base hedges;
+//! * Section 5 — the `(a⟨z⟩*^z, b, a⟨z⟩*^z)*` example;
+//! * Section 6 — the `select((b|x)*, (ε,a,b)(b,a,ε))` worked example and
+//!   the Theorem 3 marking run.
+
+use hedgex::core::mark_down::MarkDown;
+use hedgex::ha::paper::{m0, m1};
+use hedgex::hedge::{print_hedge, PointedBaseHedge};
+use hedgex::prelude::*;
+
+fn main() {
+    let mut ab = Alphabet::new();
+
+    println!("== Section 3: the deterministic automaton M0 ==");
+    let auto0 = m0(&mut ab);
+    let h = parse_hedge("d<p<$x> p<$y>> d<p<$x>>", &mut ab).unwrap();
+    let flat = FlatHedge::from_hedge(&h);
+    let states = auto0.run(&flat);
+    println!("hedge: d<p<$x> p<$y>> d<p<$x>>");
+    println!(
+        "computation (per node, document order): {:?}",
+        states
+            .iter()
+            .map(|&q| hedgex::ha::paper::M0_STATES[q as usize])
+            .collect::<Vec<_>>()
+    );
+    println!("ceil of computation in F = q_d* → accepted: {}", auto0.accepts(&h));
+    assert!(auto0.accepts(&h));
+
+    println!("\n== Section 3: the non-deterministic automaton M1 ==");
+    let auto1 = m1(&mut ab);
+    for src in ["d<p<$x> p<$y>>", "d<p<$x $x> p<$x $x>>"] {
+        let h = parse_hedge(src, &mut ab).unwrap();
+        println!("{src:28} accepted: {}", auto1.accepts(&h));
+    }
+
+    println!("\n== Figure 1: product of pointed hedges ==");
+    let u = PointedHedge::new(parse_hedge("a<$x> b<%η>", &mut ab).unwrap()).unwrap();
+    let v = PointedHedge::new(parse_hedge("a<$x> b<c<%η> $y>", &mut ab).unwrap()).unwrap();
+    let prod = u.product(&v);
+    println!("u       = {}", print_hedge(u.hedge(), &ab));
+    println!("v       = {}", print_hedge(v.hedge(), &ab));
+    println!("u ⊕ v   = {}", print_hedge(prod.hedge(), &ab));
+
+    println!("\n== Figure 2: decomposition into pointed base hedges ==");
+    let bases = v.decompose().unwrap();
+    for (i, base) in bases.iter().enumerate() {
+        println!(
+            "base {}: ({} ; {} ; {})",
+            i + 1,
+            print_hedge(&base.elder, &ab),
+            ab.sym_name(base.label),
+            print_hedge(&base.younger, &ab),
+        );
+    }
+    let recomposed = PointedBaseHedge::compose(&bases).unwrap();
+    assert_eq!(recomposed, v);
+    println!("recomposition equals v ✓");
+
+    println!("\n== Section 5: (a<z>*^z, b, a<z>*^z)* ==");
+    let phr = parse_phr("[a<%z>*^z ; b ; a<%z>*^z]*", &mut ab).unwrap();
+    let compiled = CompiledPhr::compile(&phr);
+    for src in ["a b<a b<%η> a<a>> a", "a<b<%η>>"] {
+        let ph = PointedHedge::new(parse_hedge(src, &mut ab).unwrap()).unwrap();
+        println!("{src:24} matches: {}", phr.matches_pointed(&ph));
+    }
+    let doc = parse_hedge("a b<a b<b<a>> a<a>> a", &mut ab).unwrap();
+    let flat = FlatHedge::from_hedge(&doc);
+    println!(
+        "located in 'a b<a b<b<a>> a<a>> a': {:?}",
+        two_pass::locate(&compiled, &flat)
+            .iter()
+            .map(|&n| flat.dewey(n))
+            .collect::<Vec<_>>()
+    );
+
+    println!("\n== Section 6: select((b|$x)*, [ε;a;b][b;a;ε]) ==");
+    let query = SelectQuery {
+        subhedge: parse_hre("(b|$x)*", &mut ab).unwrap(),
+        envelope: parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap(),
+    };
+    let doc = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+    let flat = FlatHedge::from_hedge(&doc);
+    let hits = query.compile().locate(&flat);
+    println!("document: b a<a<b $x> b>");
+    println!(
+        "located: {:?} (Dewey {:?}) — the paper's 'first second-level node of the second top-level node'",
+        hits,
+        hits.iter().map(|&n| flat.dewey(n)).collect::<Vec<_>>()
+    );
+    assert_eq!(hits, vec![2]);
+
+    println!("\n== Theorem 3: the marking run of M↓(b|$x)* ==");
+    let syms: Vec<_> = ab.syms().collect();
+    let md = MarkDown::build(&parse_hre("(b|$x)*", &mut ab).unwrap(), &syms);
+    let marks = md.marks(&flat);
+    for n in flat.preorder() {
+        println!(
+            "  node {n} (Dewey {:?}): content ∈ L(e1): {}",
+            flat.dewey(n),
+            marks[n as usize]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Schema transformation (Section 8): compute the output schema of a query.
+//!
+//! ```sh
+//! cargo run --example schema_transform
+//! ```
+//!
+//! Like relational algebra — where joining schemas (A,B) and (B,C) yields
+//! schema (A,B,C) — a selection query over an XML schema yields an output
+//! schema describing every possible result. This example builds a small
+//! document schema, transforms it by a query, and probes the output schema
+//! with candidate results.
+
+use hedgex::core::schema::transform_select;
+use hedgex::ha::{DhaBuilder, Leaf};
+use hedgex::prelude::*;
+use hedgex_automata::Regex;
+
+fn main() {
+    let mut ab = Alphabet::new();
+    // Input schema (a hand-built DHA):
+    //   top level: article*
+    //   article ::= section*      section ::= (para | figure)*
+    //   figure  ::= caption       para, caption ::= #text?
+    let article = ab.sym("article");
+    let section = ab.sym("section");
+    let para = ab.sym("para");
+    let figure = ab.sym("figure");
+    let caption = ab.sym("caption");
+    let text = ab.var("#text");
+    // States: 0 article, 1 section, 2 para, 3 figure, 4 caption, 5 text, 6 sink.
+    let mut b = DhaBuilder::new(7, 6);
+    b.leaf(Leaf::Var(text), 5)
+        .rule(article, Regex::sym(1).star(), 0)
+        .rule(section, Regex::sym(2).alt(Regex::sym(3)).star(), 1)
+        .rule(para, Regex::sym(5).opt(), 2)
+        .rule(figure, Regex::sym(4), 3)
+        .rule(caption, Regex::sym(5).opt(), 4)
+        .finals(Regex::sym(0).star());
+    let schema = b.build();
+    println!("input schema: article* / section* / (para|figure)* / figure ::= caption");
+
+    // Query: select figures (content = one caption) under a section.
+    let universal = {
+        let names: Vec<String> = ["article", "section", "para", "figure", "caption"]
+            .iter()
+            .map(|s| format!("{s}<%z>"))
+            .collect();
+        format!("({}|$#text)*^z", names.join("|"))
+    };
+    let e1 = parse_hre(&format!("caption<{universal}>"), &mut ab).unwrap();
+    let e2 = parse_phr(
+        &format!(
+            "[{u} ; figure ; {u}][{u} ; section ; {u}][{u} ; article ; {u}]",
+            u = universal
+        ),
+        &mut ab,
+    )
+    .unwrap();
+    println!("query: select(caption<…>, figure under section under article)\n");
+
+    let syms: Vec<_> = ab.syms().collect();
+    let vars: Vec<_> = ab.vars().collect();
+    let transformed = transform_select(&schema, &e1, &e2, &syms, &vars);
+
+    println!(
+        "match-identifying intersection: {} states, {} marked, {} live-marked",
+        transformed.intersection.num_states(),
+        transformed.marked.iter().filter(|&&m| m).count(),
+        transformed.live_marked.iter().filter(|&&m| m).count(),
+    );
+
+    // Probe the output schema.
+    println!("\noutput schema membership:");
+    for (desc, src, expect) in [
+        ("a figure with empty caption", "figure<caption>", true),
+        ("a figure with caption text", "figure<caption<$#text>>", true),
+        ("a bare caption", "caption", false),
+        ("a section", "section", false),
+        ("a figure with two captions", "figure<caption caption>", false),
+        ("a para", "para<$#text>", false),
+    ] {
+        let t = parse_hedge(src, &mut ab).unwrap();
+        let got = transformed.output.accepts(&t);
+        println!("  {desc:32} {src:28} → {got}");
+        assert_eq!(got, expect, "{desc}");
+    }
+
+    // Cross-check against brute force on a concrete document.
+    let doc = parse_hedge(
+        "article<section<para figure<caption<$#text>> para> section<figure<caption>>>",
+        &mut ab,
+    )
+    .unwrap();
+    let flat = FlatHedge::from_hedge(&doc);
+    assert!(schema.accepts_flat(&flat));
+    let q = SelectQuery {
+        subhedge: e1,
+        envelope: e2,
+    };
+    let hits = q.compile().locate(&flat);
+    println!("\nconcrete document: {} figures located", hits.len());
+    for &n in &hits {
+        let subtree = Hedge::tree(flat.to_tree(n));
+        assert!(transformed.output.accepts(&subtree));
+    }
+    println!("all located subtrees are accepted by the output schema ✓");
+}

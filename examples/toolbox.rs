@@ -1,0 +1,107 @@
+//! The algebraic toolbox: language operations, equivalence decisions,
+//! minimization, and the Section 9 unambiguity check.
+//!
+//! ```sh
+//! cargo run --example toolbox
+//! ```
+//!
+//! Everything here goes beyond evaluation: hedge languages as first-class
+//! objects you can combine, compare, and analyze — the "generalize useful
+//! techniques developed for path expressions" direction the paper's
+//! conclusion calls for.
+
+use hedgex::core::ambiguity::{hre_is_ambiguous, nha_is_ambiguous};
+use hedgex::core::mark_down::compile_to_dha;
+use hedgex::ha::minimize::minimize_dha;
+use hedgex::ha::ops::{complement, difference, equivalent, included, intersection};
+use hedgex::prelude::*;
+
+fn main() {
+    let mut ab = Alphabet::new();
+
+    println!("== Language algebra on hedge automata ==");
+    // L1: sequences of a⟨b*⟩; L2: hedges with at most 2 top-level trees.
+    let l1 = compile_to_dha(&parse_hre("a<b*>*", &mut ab).unwrap());
+    let l2 = compile_to_dha(&parse_hre("(a<(a<%z>|b<%z>)*^z>|b<(a<%z>|b<%z>)*^z>)? \
+                                        (a<(a<%z>|b<%z>)*^z>|b<(a<%z>|b<%z>)*^z>)?", &mut ab).unwrap());
+    let both = intersection(&l1, &l2);
+    let h = parse_hedge("a<b> a<b b>", &mut ab).unwrap();
+    println!("a<b> a<b b> ∈ L1∩L2: {}", both.accepts(&h));
+    let h3 = parse_hedge("a a a", &mut ab).unwrap();
+    println!("a a a       ∈ L1∩L2: {} (three roots breaks L2)", both.accepts(&h3));
+
+    // Inclusion with counterexamples.
+    match included(&both, &l1) {
+        Ok(()) => println!("L1∩L2 ⊆ L1 ✓"),
+        Err(w) => println!("unexpected counterexample: {w:?}"),
+    }
+    match included(&l1, &both) {
+        Ok(()) => println!("L1 ⊆ L1∩L2 — should not hold!"),
+        Err(w) => println!(
+            "L1 ⊄ L1∩L2, witness: {}",
+            hedgex::hedge::print_hedge(&w, &ab)
+        ),
+    }
+
+    // De Morgan, decided exactly.
+    let lhs = complement(&intersection(&l1, &l2));
+    let rhs = hedgex::ha::ops::union(&complement(&l1), &complement(&l2));
+    println!("¬(L1∩L2) = ¬L1 ∪ ¬L2: {}", equivalent(&lhs, &rhs).is_ok());
+    println!("L1 \\ L1 is empty: {}", hedgex::ha::analysis::is_empty(&difference(&l1, &l1)));
+
+    println!("\n== Minimization ==");
+    // A hand-built automaton with interchangeable states (two variables
+    // playing identical roles).
+    let m = {
+        use hedgex_automata::Regex;
+        use hedgex::ha::{DhaBuilder, Leaf};
+        let a = ab.sym("a");
+        let x = ab.var("x");
+        let y = ab.var("y");
+        let mut d = DhaBuilder::new(4, 3);
+        d.leaf(Leaf::Var(x), 0)
+            .leaf(Leaf::Var(y), 1)
+            .rule(a, Regex::sym(0).alt(Regex::sym(1)).star(), 2)
+            .finals(Regex::sym(2).star());
+        d.build()
+    };
+    let (min, _) = minimize_dha(&m);
+    println!(
+        "redundant automaton: {} states → {} states (language preserved: {})",
+        m.num_states(),
+        min.num_states(),
+        equivalent(&m, &min).is_ok()
+    );
+
+    println!("\n== Unambiguity (Section 9 future work) ==");
+    for src in [
+        "a b c",
+        "(a|b)*",
+        "a? a?",
+        "a* a*",
+        "a<b|b c?>",
+        "a<%z>*^z",
+    ] {
+        let e = hedgex::core::parse_hre(src, &mut ab).unwrap();
+        println!(
+            "  {:12} {}",
+            src,
+            if hre_is_ambiguous(&e) {
+                "AMBIGUOUS — unsafe for variable binding"
+            } else {
+                "unambiguous — variables may be introduced"
+            }
+        );
+    }
+
+    // Automaton-level: the paper's M1 guesses q_p1/q_p2 for p⟨x x⟩, yet it
+    // is NOT computation-ambiguous: α(d, ·) only accepts q_p1 q_p2*, so for
+    // every accepted hedge exactly one guess combination survives to an
+    // accepting computation.
+    let m1 = hedgex::ha::paper::m1(&mut ab);
+    println!(
+        "\npaper's M1 is computation-ambiguous: {} (the d-rule disambiguates the guesses)",
+        nha_is_ambiguous(&m1)
+    );
+    assert!(!nha_is_ambiguous(&m1));
+}

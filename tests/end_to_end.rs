@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: the full select pipeline from XML text to
+//! located nodes, compiled vs declarative, on documents no single crate's
+//! unit tests cover.
+
+use hedgex::baseline::{interpretive_locate_phr, quadratic_locate_phr};
+use hedgex::prelude::*;
+use hedgex_bench::{doc_workload, figure_before_table_phr, figure_path};
+
+#[test]
+fn xml_to_query_roundtrip() {
+    let mut ab = Alphabet::new();
+    let xml = parse_xml(
+        "<r><a><b/><c/></a><a><c/></a><b><a><b/></a></b></r>",
+    )
+    .unwrap();
+    let h = to_hedge(&xml, &mut ab, HedgeConfig::default());
+    let flat = FlatHedge::from_hedge(&h);
+
+    // b's whose immediately following sibling is a c, anywhere.
+    let u = "(r<%z>|a<%z>|b<%z>|c<%z>)*^z";
+    let any_anc = format!("([{u} ; r ; {u}]|[{u} ; a ; {u}]|[{u} ; b ; {u}]|[{u} ; c ; {u}])*");
+    let phr = parse_phr(&format!("[{u} ; b ; c<{u}> ({u})]{any_anc}"), &mut ab).unwrap();
+    let compiled = CompiledPhr::compile(&phr);
+    let fast = two_pass::locate(&compiled, &flat);
+    let naive = phr.locate_naive(&flat);
+    assert_eq!(fast, naive);
+    assert_eq!(fast.len(), 1, "only the first b inside the first a matches");
+    assert_eq!(flat.dewey(fast[0]), vec![1, 1, 1]);
+}
+
+#[test]
+fn all_evaluators_agree_on_corpus_document() {
+    let mut w = doc_workload(1500, 7);
+    let phr = figure_before_table_phr(&mut w.ab);
+    let compiled = CompiledPhr::compile(&phr);
+    let fast = hedgex::core::two_pass::locate(&compiled, &w.doc);
+    let quad = quadratic_locate_phr(&compiled, &w.doc);
+    assert_eq!(fast, quad);
+    // Sibling-sensitive hits are a subset of ancestor-only path hits.
+    let path = figure_path(&mut w.ab);
+    let path_hits = path.locate(&w.doc);
+    assert!(fast.iter().all(|n| path_hits.contains(n)));
+    assert!(fast.len() < path_hits.len());
+}
+
+#[test]
+fn interpretive_baseline_agrees_on_small_corpus() {
+    let mut w = doc_workload(120, 3);
+    let phr = figure_before_table_phr(&mut w.ab);
+    let compiled = CompiledPhr::compile(&phr);
+    assert_eq!(
+        hedgex::core::two_pass::locate(&compiled, &w.doc),
+        interpretive_locate_phr(&phr, &w.doc)
+    );
+}
+
+#[test]
+fn select_query_end_to_end_on_corpus() {
+    let mut w = doc_workload(800, 11);
+    let q = SelectQuery {
+        subhedge: parse_hre("caption<$#text>", &mut w.ab).unwrap(),
+        envelope: figure_before_table_phr(&mut w.ab),
+    };
+    let compiled = q.compile();
+    assert_eq!(compiled.locate(&w.doc), q.locate_naive(&w.doc));
+}
+
+#[test]
+fn marked_xml_output_is_reparsable() {
+    let mut w = doc_workload(400, 5);
+    let path = figure_path(&mut w.ab);
+    let hits = path.locate(&w.doc);
+    let mut marks = vec![false; w.doc.num_nodes()];
+    for &n in &hits {
+        marks[n as usize] = true;
+    }
+    let xml = write_xml(&w.doc, &w.ab, Some(&marks));
+    assert_eq!(xml.matches("hx:match=\"1\"").count(), hits.len());
+}
+
+#[test]
+fn deep_document_no_stack_overflow_in_evaluation() {
+    // 20k-deep spine. The *evaluators* iterate (no per-level recursion);
+    // building/dropping the recursive Hedge representation does recurse,
+    // so give this test a roomy stack for the construction phase.
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(|| {
+            let mut ab = Alphabet::new();
+            let a = ab.sym("a");
+            let mut h = Hedge::leaf(a);
+            for _ in 0..20_000 {
+                h = Hedge::node(a, h);
+            }
+            let flat = FlatHedge::from_hedge(&h);
+            let phr = parse_phr("[a<%z>*^z ; a ; a<%z>*^z]*", &mut ab).unwrap();
+            let compiled = CompiledPhr::compile(&phr);
+            let hits = hedgex::core::two_pass::locate(&compiled, &flat);
+            assert_eq!(hits.len(), 20_001);
+        })
+        .expect("spawn")
+        .join()
+        .expect("deep-spine evaluation");
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants, with randomly generated hedges and expressions.
+
+use proptest::prelude::*;
+
+use hedgex::core::mark_down::{compile_to_dha, mark_run};
+use hedgex::core::{compile_hre, CompiledPhr, Hre};
+use hedgex::hedge::{Hedge, PointedBaseHedge, PointedHedge, SubId, SymId, Tree, VarId};
+use hedgex::prelude::*;
+
+/// A random tree over 3 symbols and 2 variables, with bounded depth/width.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(|s| Tree::Node(SymId(s), Hedge::empty())),
+        (0u32..2).prop_map(|v| Tree::Var(VarId(v))),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        ((0u32..3), prop::collection::vec(inner, 0..4))
+            .prop_map(|(s, children)| Tree::Node(SymId(s), Hedge(children)))
+    })
+}
+
+fn arb_hedge() -> impl Strategy<Value = Hedge> {
+    prop::collection::vec(arb_tree(), 0..4).prop_map(Hedge)
+}
+
+/// A random HRE over the same alphabet (no substitution operators — those
+/// are covered by targeted exhaustive tests; here we stress the horizontal
+/// algebra and nesting).
+fn arb_hre() -> impl Strategy<Value = Hre> {
+    let leaf = prop_oneof![
+        Just(Hre::Epsilon),
+        (0u32..3).prop_map(|s| Hre::leaf(SymId(s))),
+        (0u32..2).prop_map(|v| Hre::Var(VarId(v))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.concat(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.alt(b)),
+            inner.clone().prop_map(|a| a.star()),
+            ((0u32..3), inner).prop_map(|(s, e)| Hre::node(SymId(s), e)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flattening and rebuilding a hedge is the identity.
+    #[test]
+    fn flat_roundtrip(h in arb_hedge()) {
+        let f = FlatHedge::from_hedge(&h);
+        prop_assert_eq!(f.to_hedge(), h);
+    }
+
+    /// Dewey addresses are unique and resolvable.
+    #[test]
+    fn dewey_bijective(h in arb_hedge()) {
+        let f = FlatHedge::from_hedge(&h);
+        let mut seen = std::collections::HashSet::new();
+        for n in f.preorder() {
+            let d = f.dewey(n);
+            prop_assert!(seen.insert(d.clone()));
+            prop_assert_eq!(f.by_dewey(&d), Some(n));
+        }
+    }
+
+    /// subhedge + envelope reassemble the original hedge (Definition 21).
+    #[test]
+    fn envelope_fill_inverts(h in arb_hedge()) {
+        let f = FlatHedge::from_hedge(&h);
+        for n in f.preorder() {
+            if !matches!(f.label(n), hedgex::hedge::flat::FlatLabel::Sym(_)) {
+                continue;
+            }
+            let env = PointedHedge::new(f.envelope(n)).unwrap();
+            let filled = env.fill(&f.subhedge(n));
+            prop_assert_eq!(&filled, &h);
+        }
+    }
+
+    /// Pointed-hedge decomposition and composition are mutually inverse,
+    /// and the decomposition length equals the node's depth.
+    #[test]
+    fn decompose_compose_inverse(h in arb_hedge()) {
+        let f = FlatHedge::from_hedge(&h);
+        for n in f.preorder() {
+            if !matches!(f.label(n), hedgex::hedge::flat::FlatLabel::Sym(_)) {
+                continue;
+            }
+            let env = PointedHedge::new(f.envelope(n)).unwrap();
+            let bases = env.decompose().unwrap();
+            prop_assert_eq!(bases.len(), f.node_depth(n));
+            let back = PointedBaseHedge::compose(&bases).unwrap();
+            prop_assert_eq!(back, env);
+        }
+    }
+
+    /// The product of pointed hedges is associative.
+    #[test]
+    fn pointed_product_associative(a in arb_hedge(), b in arb_hedge(), c in arb_hedge()) {
+        // Turn each hedge into a pointed hedge by appending x⟨η⟩.
+        let point = |h: Hedge| {
+            let mut trees = h.0;
+            trees.push(Tree::Node(SymId(0), Hedge(vec![Tree::Subst(SubId::ETA)])));
+            PointedHedge::new(Hedge(trees)).unwrap()
+        };
+        let (pa, pb, pc) = (point(a), point(b), point(c));
+        prop_assert_eq!(
+            pa.product(&pb).product(&pc),
+            pa.product(&pb.product(&pc))
+        );
+    }
+
+    /// Lemma 1: the compiled automaton agrees with the declarative matcher
+    /// on random expression/hedge pairs.
+    #[test]
+    fn compile_agrees_with_spec(e in arb_hre(), h in arb_hedge()) {
+        let nha = compile_hre(&e);
+        prop_assert_eq!(nha.accepts(&h), e.matches(&h));
+    }
+
+    /// Theorem 1 on compiled expressions: determinization preserves
+    /// membership.
+    #[test]
+    fn determinize_preserves_membership(e in arb_hre(), h in arb_hedge()) {
+        let nha = compile_hre(&e);
+        let det = hedgex::ha::determinize(&nha);
+        prop_assert_eq!(det.dha.accepts(&h), nha.accepts(&h));
+    }
+
+    /// Theorem 3: marking equals per-node declarative membership.
+    #[test]
+    fn marks_equal_spec(e in arb_hre(), h in arb_hedge()) {
+        let dha = compile_to_dha(&e);
+        let f = FlatHedge::from_hedge(&h);
+        let marks = mark_run(&dha, &f);
+        for n in f.preorder() {
+            let expect = matches!(f.label(n), hedgex::hedge::flat::FlatLabel::Sym(_))
+                && e.matches(&f.subhedge(n));
+            prop_assert_eq!(marks[n as usize], expect);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 equals the declarative PHR evaluator on random hedges
+    /// for a fixed library of representative PHRs.
+    #[test]
+    fn two_pass_equals_naive(h in arb_hedge(), which in 0usize..4) {
+        let mut ab = Alphabet::new();
+        ab.sym("s0");
+        ab.sym("s1");
+        ab.sym("s2");
+        ab.var("v0");
+        ab.var("v1");
+        let u = "(s0<%z>|s1<%z>|s2<%z>|$v0|$v1)*^z";
+        let srcs = [
+            format!("[{u} ; s0 ; {u}]"),
+            format!("[{u} ; s1 ; s0<%z>*^z ({u})]([{u} ; s0 ; {u}])*"),
+            format!("([{u} ; s0 ; {u}]|[{u} ; s1 ; {u}])+"),
+            format!("[ε ; s2 ; {u}][{u} ; s0 ; ε]"),
+        ];
+        let phr = parse_phr(&srcs[which], &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let f = FlatHedge::from_hedge(&h);
+        prop_assert_eq!(
+            hedgex::core::two_pass::locate(&compiled, &f),
+            phr.locate_naive(&f)
+        );
+    }
+}

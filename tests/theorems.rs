@@ -1,0 +1,127 @@
+//! Theorem-level integration tests: each of the paper's five theorems
+//! checked across crates on randomized and exhaustive inputs.
+
+use hedgex::core::mark_down::{compile_to_dha, mark_run, MarkDown};
+use hedgex::core::mark_up::MarkUp;
+use hedgex::ha::enumerate::enumerate_hedges;
+use hedgex::ha::{determinize, Leaf, NhaBuilder};
+use hedgex::prelude::*;
+use hedgex_automata::Regex;
+
+/// Theorem 1: determinization preserves the language (on an automaton with
+/// real vertical nondeterminism).
+#[test]
+fn theorem_1_subset_construction() {
+    let mut ab = Alphabet::new();
+    let a = ab.sym("a");
+    let b = ab.sym("b");
+    let x = ab.var("x");
+    // Guess: an a is "even" or "odd"; F demands alternating top level.
+    let mut nb = NhaBuilder::new(3);
+    nb.leaf(Leaf::Var(x), 2)
+        .rule(a, Regex::class(hedgex_automata::CharClass::any()).star(), 0)
+        .rule(a, Regex::class(hedgex_automata::CharClass::any()).star(), 1)
+        .rule(b, Regex::sym(0).concat(Regex::sym(1)).star(), 0)
+        .finals(Regex::sym(0).concat(Regex::sym(1)).star());
+    let nha = nb.build();
+    let det = determinize(&nha);
+    for h in enumerate_hedges(&[a, b], &[x], 5) {
+        assert_eq!(nha.accepts(&h), det.dha.accepts(&h), "on {h:?}");
+    }
+}
+
+/// Theorem 2: HRE → HA → HRE → HA round trip preserves languages.
+#[test]
+fn theorem_2_roundtrip() {
+    let mut ab = Alphabet::new();
+    let e = parse_hre("(a<b* $x?>|b<a?>)*", &mut ab).unwrap();
+    let dha = compile_to_dha(&e);
+    let e2 = hedgex::core::decompile_dha(&dha, &mut ab);
+    let back = compile_to_dha(&e2);
+    let syms: Vec<_> = ab.syms().collect();
+    let vars: Vec<_> = ab.vars().collect();
+    for h in enumerate_hedges(&syms, &vars, 4) {
+        assert_eq!(e.matches(&h), back.accepts(&h), "on {h:?}");
+    }
+}
+
+/// Theorem 3: both marking routes agree with the declarative semantics on a
+/// corpus document.
+#[test]
+fn theorem_3_marking_on_corpus() {
+    let mut w = hedgex_bench::doc_workload(300, 13);
+    let e = parse_hre("caption<$#text>", &mut w.ab).unwrap();
+    let dha = compile_to_dha(&e);
+    let syms: Vec<_> = w.ab.syms().collect();
+    let md = MarkDown::build(&e, &syms);
+    let run = mark_run(&dha, &w.doc);
+    let explicit = md.marks(&w.doc);
+    assert!(md.dha.accepts_flat(&w.doc));
+    for n in w.doc.preorder() {
+        let expected = matches!(
+            w.doc.label(n),
+            hedgex::hedge::flat::FlatLabel::Sym(_)
+        ) && e.matches(&w.doc.subhedge(n));
+        assert_eq!(run[n as usize], expected, "mark_run at node {n}");
+        assert_eq!(explicit[n as usize], expected, "M↓e at node {n}");
+    }
+}
+
+/// Theorem 4 + Algorithm 1: the compiled evaluator equals the declarative
+/// one on a corpus document (bigger than unit-test enumeration reaches).
+#[test]
+fn theorem_4_two_pass_on_corpus() {
+    let mut w = hedgex_bench::doc_workload(250, 17);
+    let phr = hedgex_bench::figure_before_table_phr(&mut w.ab);
+    let compiled = CompiledPhr::compile(&phr);
+    assert_eq!(
+        hedgex::core::two_pass::locate(&compiled, &w.doc),
+        phr.locate_naive(&w.doc)
+    );
+}
+
+/// Theorem 5: the match-identifying automaton accepts everything, marks
+/// exactly the located nodes, and its successful computation is unique.
+#[test]
+fn theorem_5_match_identification() {
+    let mut ab = Alphabet::new();
+    let phr = parse_phr("[ε ; a ; b*][b ; b ; ε]*", &mut ab).unwrap();
+    ab.sym("other");
+    ab.var("x");
+    let compiled = CompiledPhr::compile(&phr);
+    let syms: Vec<_> = ab.syms().collect();
+    let vars: Vec<_> = ab.vars().collect();
+    let mu = MarkUp::build(&compiled, &syms, &vars);
+    for h in enumerate_hedges(&syms, &vars, 4) {
+        let f = FlatHedge::from_hedge(&h);
+        assert!(mu.nha.accepts_flat(&f), "M′ must accept {h:?}");
+        assert_eq!(
+            mu.locate(&f),
+            hedgex::core::two_pass::locate(&compiled, &f),
+            "marks on {h:?}"
+        );
+    }
+}
+
+/// The MSO-expressiveness corollaries are not directly testable, but the
+/// complexity claims are: compiled evaluation visits each node a bounded
+/// number of times. Verify linearity structurally: doubling the document
+/// doubles (±50%) the work, measured by matches found in a self-similar
+/// corpus.
+#[test]
+fn linear_work_proxy() {
+    let mut w1 = hedgex_bench::doc_workload(2000, 23);
+    let mut w2 = hedgex_bench::doc_workload(4000, 23);
+    let p1 = hedgex_bench::figure_before_table_phr(&mut w1.ab);
+    let c1 = CompiledPhr::compile(&p1);
+    let p2 = hedgex_bench::figure_before_table_phr(&mut w2.ab);
+    let c2 = CompiledPhr::compile(&p2);
+    let h1 = hedgex::core::two_pass::locate(&c1, &w1.doc).len();
+    let h2 = hedgex::core::two_pass::locate(&c2, &w2.doc).len();
+    assert!(h1 > 0 && h2 > 0);
+    let ratio = h2 as f64 / h1 as f64;
+    assert!(
+        (1.0..4.0).contains(&ratio),
+        "match density should scale roughly with size: {h1} vs {h2}"
+    );
+}

@@ -1,0 +1,118 @@
+//! XML pipeline integration: parse → hedge → query → serialize, plus
+//! schema transformation driven from an XML-derived schema.
+
+use hedgex::core::schema::transform_select;
+use hedgex::ha::{DhaBuilder, Leaf};
+use hedgex::prelude::*;
+use hedgex_automata::Regex;
+
+#[test]
+fn attribute_folding_is_queryable() {
+    let mut ab = Alphabet::new();
+    let xml = parse_xml(r#"<doc><fig kind="chart"/><fig/></doc>"#).unwrap();
+    let h = to_hedge(
+        &xml,
+        &mut ab,
+        HedgeConfig {
+            keep_text: true,
+            keep_attrs: true,
+        },
+    );
+    let flat = FlatHedge::from_hedge(&h);
+    // Figures that *have* a kind attribute: subhedge starts with attr:kind.
+    let q = SelectQuery {
+        subhedge: parse_hre("attr:kind<$#text>", &mut ab).unwrap(),
+        envelope: parse_phr(
+            "[(doc<%z>|fig<%z>|attr:kind<%z>|$#text)*^z ; fig ; (doc<%z>|fig<%z>|attr:kind<%z>|$#text)*^z]\
+             [(doc<%z>|fig<%z>|attr:kind<%z>|$#text)*^z ; doc ; (doc<%z>|fig<%z>|attr:kind<%z>|$#text)*^z]",
+            &mut ab,
+        )
+        .unwrap(),
+    };
+    let hits = q.compile().locate(&flat);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(flat.dewey(hits[0]), vec![1, 1]);
+}
+
+#[test]
+fn entity_heavy_document_parses_and_queries() {
+    let mut ab = Alphabet::new();
+    let xml = parse_xml(
+        "<a>&lt;tag&gt; &amp; <b>&#x48;&#105;</b><![CDATA[<raw>]]></a>",
+    )
+    .unwrap();
+    let h = to_hedge(&xml, &mut ab, HedgeConfig::default());
+    let flat = FlatHedge::from_hedge(&h);
+    let p = parse_path("a b", &mut ab).unwrap();
+    assert_eq!(p.locate(&flat).len(), 1);
+}
+
+#[test]
+fn schema_transform_from_xml_flavoured_schema() {
+    let mut ab = Alphabet::new();
+    // Schema: doc ::= (entry)*, entry ::= key value, key/value ::= #text.
+    let doc = ab.sym("doc");
+    let entry = ab.sym("entry");
+    let key = ab.sym("key");
+    let value = ab.sym("value");
+    let text = ab.var("#text");
+    // States: 0 doc, 1 entry, 2 key, 3 value, 4 text, 5 sink.
+    let mut b = DhaBuilder::new(6, 5);
+    b.leaf(Leaf::Var(text), 4)
+        .rule(doc, Regex::sym(1).star(), 0)
+        .rule(entry, Regex::sym(2).concat(Regex::sym(3)), 1)
+        .rule(key, Regex::sym(4), 2)
+        .rule(value, Regex::sym(4), 3)
+        .finals(Regex::sym(0));
+    let schema = b.build();
+
+    // Select values whose entry is anywhere under doc.
+    let u = "(doc<%z>|entry<%z>|key<%z>|value<%z>|$#text)*^z";
+    let e1 = parse_hre("$#text", &mut ab).unwrap();
+    let e2 = parse_phr(
+        &format!("[{u} ; value ; {u}][{u} ; entry ; {u}][{u} ; doc ; {u}]"),
+        &mut ab,
+    )
+    .unwrap();
+    let syms: Vec<_> = ab.syms().collect();
+    let vars: Vec<_> = ab.vars().collect();
+    let st = transform_select(&schema, &e1, &e2, &syms, &vars);
+
+    // The output schema is exactly { value⟨#text⟩ }.
+    let yes = parse_hedge("value<$#text>", &mut ab).unwrap();
+    assert!(st.output.accepts(&yes));
+    for no in ["value", "key<$#text>", "entry<key<$#text> value<$#text>>"] {
+        let t = parse_hedge(no, &mut ab).unwrap();
+        assert!(!st.output.accepts(&t), "{no} must be rejected");
+    }
+
+    // And on a concrete document, located subtrees land in the output
+    // schema.
+    let doch = parse_hedge(
+        "doc<entry<key<$#text> value<$#text>> entry<key<$#text> value<$#text>>>",
+        &mut ab,
+    )
+    .unwrap();
+    let flat = FlatHedge::from_hedge(&doch);
+    assert!(schema.accepts_flat(&flat));
+    let q = SelectQuery {
+        subhedge: e1,
+        envelope: e2,
+    };
+    let hits = q.compile().locate(&flat);
+    assert_eq!(hits.len(), 2);
+    for &n in &hits {
+        assert!(st.output.accepts(&Hedge::tree(flat.to_tree(n))));
+    }
+}
+
+#[test]
+fn generated_corpus_is_well_formed_xml() {
+    let mut w = hedgex_bench::doc_workload(600, 29);
+    let xml = write_xml(&w.doc, &w.ab, None);
+    let reparsed = parse_xml(&xml).expect("generated corpus serializes to well-formed XML");
+    let mut ab2 = Alphabet::new();
+    let h2 = to_hedge(&reparsed, &mut ab2, HedgeConfig::default());
+    assert_eq!(h2.size(), w.doc.num_nodes());
+    let _ = &mut w;
+}
