@@ -5,7 +5,7 @@
 //! far always exists. This is exactly the semantics the Lemma-1 construction
 //! needs while the hedge-automaton state set grows under composition.
 
-use serde::{Deserialize, Serialize};
+use hedgex_testkit::{FromJson, Json, ToJson};
 use std::collections::BTreeSet;
 
 use crate::Sym;
@@ -15,12 +15,43 @@ use crate::Sym;
 ///
 /// `NotIn(∅)` is the universal class ("any symbol"); `In(∅)` is the empty
 /// class and never matches.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CharClass<S: Ord> {
     /// Exactly the listed symbols.
     In(BTreeSet<S>),
     /// Every symbol except the listed ones.
     NotIn(BTreeSet<S>),
+}
+
+impl<S: Ord + ToJson> ToJson for CharClass<S> {
+    /// `{"in": [...]}` or `{"not_in": [...]}`.
+    fn to_json(&self) -> Json {
+        let (tag, set) = match self {
+            CharClass::In(set) => ("in", set),
+            CharClass::NotIn(set) => ("not_in", set),
+        };
+        Json::obj([(tag, Json::Arr(set.iter().map(ToJson::to_json).collect()))])
+    }
+}
+
+impl<S: Ord + FromJson> FromJson for CharClass<S> {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let parse_set = |items: &Json| -> Result<BTreeSet<S>, String> {
+            items
+                .as_arr()
+                .ok_or_else(|| format!("expected symbol array, got {items}"))?
+                .iter()
+                .map(S::from_json)
+                .collect()
+        };
+        if let Some(items) = j.get("in") {
+            parse_set(items).map(CharClass::In)
+        } else if let Some(items) = j.get("not_in") {
+            parse_set(items).map(CharClass::NotIn)
+        } else {
+            Err(format!("bad char-class encoding: {j}"))
+        }
+    }
 }
 
 impl<S: Sym> CharClass<S> {
@@ -229,6 +260,25 @@ mod tests {
         assert!(u.contains(&1));
         assert!(u.contains(&2));
         assert!(!u.contains(&3));
+    }
+
+    #[test]
+    fn json_roundtrip_both_polarities() {
+        for c in [
+            CharClass::In(set(&[1, 2])),
+            CharClass::NotIn(set(&[7])),
+            CharClass::<u32>::any(),
+            CharClass::<u32>::empty(),
+        ] {
+            let json = c.to_json().to_string();
+            let back =
+                CharClass::<u32>::from_json(&hedgex_testkit::Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, c);
+        }
+        assert_eq!(
+            CharClass::In(set(&[3, 1])).to_json().to_string(),
+            r#"{"in":[1,3]}"#
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn dense_agrees_with_symbolic() {
         let (d, dd) = dense(
-            Regex::sym(1u8).alt(Regex::sym(2)).star().concat(Regex::sym(3)),
+            Regex::sym(1u8)
+                .alt(Regex::sym(2))
+                .star()
+                .concat(Regex::sym(3)),
             &[1, 2, 3],
         );
         for w in [

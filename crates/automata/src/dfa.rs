@@ -190,9 +190,7 @@ impl<S: Sym> Dfa<S> {
                 accept.resize(id as usize + 1, false);
             }
             trans[id as usize] = edges;
-            accept[id as usize] = order[id as usize]
-                .iter()
-                .any(|&q| nfa.is_accepting(q));
+            accept[id as usize] = order[id as usize].iter().any(|&q| nfa.is_accepting(q));
         }
         // Work items may have been interned after their row slot was sized;
         // ensure every state has a row (states pushed last).
@@ -260,10 +258,7 @@ impl<S: Sym> Dfa<S> {
             accept.resize(order.len(), false);
         }
         for (id, (qa, qb)) in order.iter().enumerate() {
-            accept[id] = op.apply(
-                self.accept[*qa as usize],
-                other.accept[*qb as usize],
-            );
+            accept[id] = op.apply(self.accept[*qa as usize], other.accept[*qb as usize]);
         }
         Dfa {
             trans,
@@ -522,7 +517,9 @@ mod tests {
 
     #[test]
     fn subset_construction_preserves_language() {
-        let r = Regex::sym(1u8).alt(Regex::sym(2)).concat(Regex::sym(3).star());
+        let r = Regex::sym(1u8)
+            .alt(Regex::sym(2))
+            .concat(Regex::sym(3).star());
         let n = Nfa::from_regex(&r);
         let d = n.to_dfa();
         for w in [
@@ -562,7 +559,10 @@ mod tests {
     #[test]
     fn product_intersection() {
         // Words over {1,2} containing at least one 1  ∩  words of length 2.
-        let a = dfa(Regex::any_sym().star().concat(Regex::sym(1u8)).concat(Regex::any_sym().star()));
+        let a = dfa(Regex::any_sym()
+            .star()
+            .concat(Regex::sym(1u8))
+            .concat(Regex::any_sym().star()));
         let b = dfa(Regex::any_sym().concat(Regex::any_sym()));
         let i = a.intersect(&b);
         assert!(i.accepts(&[1, 2]));
@@ -647,6 +647,9 @@ mod tests {
         let w = d.shortest_word().unwrap();
         assert_eq!(w, vec![4, 5]);
         assert!(dfa(Regex::Empty).shortest_word().is_none());
-        assert_eq!(dfa(Regex::Epsilon).shortest_word().unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            dfa(Regex::Epsilon).shortest_word().unwrap(),
+            Vec::<u8>::new()
+        );
     }
 }

@@ -30,9 +30,7 @@ pub fn dfa_to_regex<S: Sym>(dfa: &Dfa<S>) -> Regex<S> {
                 }
             }
         }
-        let mut stack: Vec<StateId> = (0..n as StateId)
-            .filter(|&q| dfa.is_accepting(q))
-            .collect();
+        let mut stack: Vec<StateId> = (0..n as StateId).filter(|&q| dfa.is_accepting(q)).collect();
         for &q in &stack {
             live[q as usize] = true;
         }
@@ -53,16 +51,14 @@ pub fn dfa_to_regex<S: Sym>(dfa: &Dfa<S>) -> Regex<S> {
     let gstart = n as StateId;
     let gaccept = n as StateId + 1;
     let mut edges: HashMap<(StateId, StateId), Regex<S>> = HashMap::new();
-    let add = |edges: &mut HashMap<(StateId, StateId), Regex<S>>,
-                   u: StateId,
-                   v: StateId,
-                   r: Regex<S>| {
-        if matches!(r, Regex::Empty) {
-            return;
-        }
-        let slot = edges.entry((u, v)).or_insert(Regex::Empty);
-        *slot = std::mem::replace(slot, Regex::Empty).alt(r);
-    };
+    let add =
+        |edges: &mut HashMap<(StateId, StateId), Regex<S>>, u: StateId, v: StateId, r: Regex<S>| {
+            if matches!(r, Regex::Empty) {
+                return;
+            }
+            let slot = edges.entry((u, v)).or_insert(Regex::Empty);
+            *slot = std::mem::replace(slot, Regex::Empty).alt(r);
+        };
     add(&mut edges, gstart, dfa.start(), Regex::Epsilon);
     for q in 0..n as StateId {
         if !live[q as usize] {
@@ -84,12 +80,7 @@ pub fn dfa_to_regex<S: Sym>(dfa: &Dfa<S>) -> Regex<S> {
         let (pos, &rip) = remaining
             .iter()
             .enumerate()
-            .min_by_key(|(_, &q)| {
-                edges
-                    .keys()
-                    .filter(|(u, v)| *u == q || *v == q)
-                    .count()
-            })
+            .min_by_key(|(_, &q)| edges.keys().filter(|(u, v)| *u == q || *v == q).count())
             .expect("non-empty");
         remaining.swap_remove(pos);
 

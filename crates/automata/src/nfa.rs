@@ -332,9 +332,7 @@ impl<S: Sym> Nfa<S> {
                 row.iter()
                     .map(|(c, t)| {
                         let nc = match c {
-                            CharClass::In(set) => {
-                                CharClass::In(set.iter().map(&mut *f).collect())
-                            }
+                            CharClass::In(set) => CharClass::In(set.iter().map(&mut *f).collect()),
                             CharClass::NotIn(set) => {
                                 CharClass::NotIn(set.iter().map(&mut *f).collect())
                             }
@@ -382,7 +380,11 @@ mod tests {
     #[test]
     fn union_concat_star() {
         // (1|2) 3*
-        let n = re_nfa(Regex::sym(1u8).alt(Regex::sym(2)).concat(Regex::sym(3).star()));
+        let n = re_nfa(
+            Regex::sym(1u8)
+                .alt(Regex::sym(2))
+                .concat(Regex::sym(3).star()),
+        );
         assert!(n.accepts(&[1]));
         assert!(n.accepts(&[2, 3, 3, 3]));
         assert!(!n.accepts(&[3]));

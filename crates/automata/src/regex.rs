@@ -149,7 +149,10 @@ impl<S: Sym> Regex<S> {
     }
 
     /// Rewrite every atom with `f`, preserving structure.
-    pub fn map_classes<T: Sym>(&self, f: &mut impl FnMut(&CharClass<S>) -> CharClass<T>) -> Regex<T> {
+    pub fn map_classes<T: Sym>(
+        &self,
+        f: &mut impl FnMut(&CharClass<S>) -> CharClass<T>,
+    ) -> Regex<T> {
         match self {
             Regex::Empty => Regex::Empty,
             Regex::Epsilon => Regex::Epsilon,
@@ -385,7 +388,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let r = Regex::sym(0u8).alt(Regex::sym(1)).concat(Regex::sym(2).star());
+        let r = Regex::sym(0u8)
+            .alt(Regex::sym(1))
+            .concat(Regex::sym(2).star());
         assert_eq!(format!("{r}"), "(0|1) 2*");
     }
 }

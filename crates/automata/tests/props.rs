@@ -1,167 +1,288 @@
 //! Property tests for the string-automata substrate: random regexes and
 //! words over a small alphabet, checking every construction against direct
-//! NFA membership.
+//! NFA membership. Runs on `hedgex-testkit`'s shrinking `forall`; a failure
+//! prints a `HEDGEX_SEED` that replays it.
 
-use proptest::prelude::*;
-
-use hedgex_automata::{dfa_to_regex, CharClass, Dfa, Nfa, Regex};
+use hedgex_automata::{dfa_to_regex, CharClass, Nfa, Regex};
+use hedgex_testkit::prop::{shrink_u64, shrink_vec};
+use hedgex_testkit::{forall, prop_assert, prop_assert_eq, zip2, zip3, Config, Gen, Rng};
 
 /// Random regexes over the alphabet {0, 1, 2}, including co-finite classes.
-fn arb_regex() -> impl Strategy<Value = Regex<u8>> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        Just(Regex::Empty),
-        (0u8..3).prop_map(Regex::sym),
-        (0u8..3).prop_map(|s| Regex::class(CharClass::all_except([s]))),
-        Just(Regex::any_sym()),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.concat(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.alt(b)),
-            inner.clone().prop_map(Regex::star),
-        ]
+fn gen_regex(rng: &mut Rng, depth: usize) -> Regex<u8> {
+    if depth == 0 || rng.random_bool(0.4) {
+        return match rng.random_range(0..5u32) {
+            0 => Regex::Epsilon,
+            1 => Regex::Empty,
+            2 => Regex::sym(rng.random_range(0..3u8)),
+            3 => Regex::class(CharClass::all_except([rng.random_range(0..3u8)])),
+            _ => Regex::any_sym(),
+        };
+    }
+    match rng.random_range(0..3u32) {
+        0 => gen_regex(rng, depth - 1).concat(gen_regex(rng, depth - 1)),
+        1 => gen_regex(rng, depth - 1).alt(gen_regex(rng, depth - 1)),
+        _ => gen_regex(rng, depth - 1).star(),
+    }
+}
+
+/// Shrink a regex toward subexpressions and the trivial languages.
+fn shrink_regex(re: &Regex<u8>) -> Vec<Regex<u8>> {
+    match re {
+        Regex::Empty => vec![],
+        Regex::Epsilon => vec![Regex::Empty],
+        Regex::Sym(_) => vec![Regex::Empty, Regex::Epsilon],
+        Regex::Concat(a, b) | Regex::Alt(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            for a2 in shrink_regex(a) {
+                out.push(match re {
+                    Regex::Concat(_, _) => a2.concat((**b).clone()),
+                    _ => a2.alt((**b).clone()),
+                });
+            }
+            for b2 in shrink_regex(b) {
+                out.push(match re {
+                    Regex::Concat(_, _) => (**a).clone().concat(b2),
+                    _ => (**a).clone().alt(b2),
+                });
+            }
+            out
+        }
+        Regex::Star(a) => {
+            let mut out = vec![(**a).clone(), Regex::Epsilon];
+            out.extend(shrink_regex(a).into_iter().map(Regex::star));
+            out
+        }
+    }
+}
+
+fn arb_regex() -> Gen<Regex<u8>> {
+    Gen::new(|rng| gen_regex(rng, 4)).with_shrink(shrink_regex)
+}
+
+/// Words over {0, 1, 2, 3} — 3 lies outside every mentioned symbol, so
+/// co-finite classes get exercised.
+fn arb_word() -> Gen<Vec<u8>> {
+    Gen::new(|rng| {
+        let len = rng.random_range(0..8usize);
+        (0..len)
+            .map(|_| rng.random_range(0..4u8))
+            .collect::<Vec<u8>>()
+    })
+    .with_shrink(|w: &Vec<u8>| {
+        shrink_vec(w, |&b| {
+            shrink_u64(b as u64).into_iter().map(|x| x as u8).collect()
+        })
     })
 }
 
-fn arb_word() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..4, 0..8) // includes 3: outside mentioned syms
+const CASES: u32 = 256;
+
+/// NFA and subset-constructed DFA agree on membership.
+#[test]
+fn dfa_equals_nfa() {
+    forall(
+        "dfa_equals_nfa",
+        Config::with_cases(CASES),
+        &zip2(arb_regex(), arb_word()),
+        |(re, w)| {
+            let nfa = Nfa::from_regex(re);
+            let dfa = nfa.to_dfa();
+            prop_assert_eq!(nfa.accepts(w), dfa.accepts(w));
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Minimization preserves the language and never grows the automaton.
+#[test]
+fn minimize_preserves() {
+    forall(
+        "minimize_preserves",
+        Config::with_cases(CASES),
+        &zip2(arb_regex(), arb_word()),
+        |(re, w)| {
+            let dfa = Nfa::from_regex(re).to_dfa();
+            let min = dfa.minimize();
+            prop_assert!(min.num_states() <= dfa.num_states());
+            prop_assert_eq!(dfa.accepts(w), min.accepts(w));
+            Ok(())
+        },
+    );
+}
 
-    /// NFA and subset-constructed DFA agree on membership.
-    #[test]
-    fn dfa_equals_nfa(re in arb_regex(), w in arb_word()) {
-        let nfa = Nfa::from_regex(&re);
-        let dfa = nfa.to_dfa();
-        prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w));
-    }
+/// State elimination round-trips the language.
+#[test]
+fn regex_roundtrip() {
+    forall(
+        "regex_roundtrip",
+        Config::with_cases(CASES),
+        &zip2(arb_regex(), arb_word()),
+        |(re, w)| {
+            let dfa = Nfa::from_regex(re).to_dfa();
+            let re2 = dfa_to_regex(&dfa);
+            let dfa2 = Nfa::from_regex(&re2).to_dfa();
+            prop_assert_eq!(dfa.accepts(w), dfa2.accepts(w));
+            Ok(())
+        },
+    );
+}
 
-    /// Minimization preserves the language and never grows the automaton.
-    #[test]
-    fn minimize_preserves(re in arb_regex(), w in arb_word()) {
-        let dfa = Nfa::from_regex(&re).to_dfa();
-        let min = dfa.minimize();
-        prop_assert!(min.num_states() <= dfa.num_states());
-        prop_assert_eq!(dfa.accepts(&w), min.accepts(&w));
-    }
+/// Products implement the pointwise boolean semantics; complement flips.
+#[test]
+fn boolean_ops_pointwise() {
+    forall(
+        "boolean_ops_pointwise",
+        Config::with_cases(CASES),
+        &zip3(arb_regex(), arb_regex(), arb_word()),
+        |(ra, rb, w)| {
+            let a = Nfa::from_regex(ra).to_dfa();
+            let b = Nfa::from_regex(rb).to_dfa();
+            let (x, y) = (a.accepts(w), b.accepts(w));
+            prop_assert_eq!(a.intersect(&b).accepts(w), x && y);
+            prop_assert_eq!(a.union(&b).accepts(w), x || y);
+            prop_assert_eq!(a.difference(&b).accepts(w), x && !y);
+            prop_assert_eq!(a.complement().accepts(w), !x);
+            Ok(())
+        },
+    );
+}
 
-    /// State elimination round-trips the language.
-    #[test]
-    fn regex_roundtrip(re in arb_regex(), w in arb_word()) {
-        let dfa = Nfa::from_regex(&re).to_dfa();
-        let re2 = dfa_to_regex(&dfa);
-        let dfa2 = Nfa::from_regex(&re2).to_dfa();
-        prop_assert_eq!(dfa.accepts(&w), dfa2.accepts(&w));
-    }
+/// Reversal accepts exactly the mirror images.
+#[test]
+fn reverse_is_mirror() {
+    forall(
+        "reverse_is_mirror",
+        Config::with_cases(CASES),
+        &zip2(arb_regex(), arb_word()),
+        |(re, w)| {
+            let nfa = Nfa::from_regex(re);
+            let rev = nfa.reverse();
+            let mut m = w.clone();
+            m.reverse();
+            prop_assert_eq!(nfa.accepts(w), rev.accepts(&m));
+            Ok(())
+        },
+    );
+}
 
-    /// Products implement the pointwise boolean semantics; complement flips.
-    #[test]
-    fn boolean_ops_pointwise(ra in arb_regex(), rb in arb_regex(), w in arb_word()) {
-        let a = Nfa::from_regex(&ra).to_dfa();
-        let b = Nfa::from_regex(&rb).to_dfa();
-        let (x, y) = (a.accepts(&w), b.accepts(&w));
-        prop_assert_eq!(a.intersect(&b).accepts(&w), x && y);
-        prop_assert_eq!(a.union(&b).accepts(&w), x || y);
-        prop_assert_eq!(a.difference(&b).accepts(&w), x && !y);
-        prop_assert_eq!(a.complement().accepts(&w), !x);
-    }
+/// Equivalence agrees with minimized-DFA state counts on equal languages,
+/// and `equivalent` is reflexive.
+#[test]
+fn equivalence_reflexive() {
+    forall(
+        "equivalence_reflexive",
+        Config::with_cases(CASES),
+        &arb_regex(),
+        |re| {
+            let a = Nfa::from_regex(re).to_dfa();
+            prop_assert!(a.equivalent(&a.minimize()));
+            // L ∪ L = L, L ∩ L = L.
+            prop_assert!(a.union(&a).equivalent(&a));
+            prop_assert!(a.intersect(&a).equivalent(&a));
+            Ok(())
+        },
+    );
+}
 
-    /// Reversal accepts exactly the mirror images.
-    #[test]
-    fn reverse_is_mirror(re in arb_regex(), w in arb_word()) {
-        let nfa = Nfa::from_regex(&re);
-        let rev = nfa.reverse();
-        let mut m = w.clone();
-        m.reverse();
-        prop_assert_eq!(nfa.accepts(&w), rev.accepts(&m));
-    }
-
-    /// Equivalence agrees with minimized-DFA state counts on equal
-    /// languages, and `equivalent` is reflexive.
-    #[test]
-    fn equivalence_reflexive(re in arb_regex()) {
-        let a = Nfa::from_regex(&re).to_dfa();
-        prop_assert!(a.equivalent(&a.minimize()));
-        // L ∪ L = L, L ∩ L = L.
-        prop_assert!(a.union(&a).equivalent(&a));
-        prop_assert!(a.intersect(&a).equivalent(&a));
-    }
-
-    /// `remove_word` removes exactly one word.
-    #[test]
-    fn remove_word_spec(re in arb_regex(), target in arb_word(), w in arb_word()) {
-        let nfa = Nfa::from_regex(&re);
-        let removed = nfa.remove_word(&target);
-        if w == target {
-            prop_assert!(!removed.accepts(&w));
-        } else {
-            prop_assert_eq!(removed.accepts(&w), nfa.accepts(&w));
-        }
-    }
-
-    /// The regex `reverse()` agrees with NFA reversal.
-    #[test]
-    fn regex_reverse_agrees(re in arb_regex(), w in arb_word()) {
-        let r = re.reverse();
-        let fwd = Nfa::from_regex(&re);
-        let bwd = Nfa::from_regex(&r);
-        let mut m = w.clone();
-        m.reverse();
-        prop_assert_eq!(fwd.accepts(&w), bwd.accepts(&m));
-    }
-
-    /// Emptiness is exact.
-    #[test]
-    fn emptiness_consistent(re in arb_regex()) {
-        let dfa = Nfa::from_regex(&re).to_dfa();
-        let empty = dfa.is_empty_lang();
-        let witness = dfa.shortest_word();
-        match witness {
-            Some(w) => {
-                prop_assert!(!empty);
-                prop_assert!(dfa.accepts(&w));
+/// `remove_word` removes exactly one word.
+#[test]
+fn remove_word_spec() {
+    forall(
+        "remove_word_spec",
+        Config::with_cases(CASES),
+        &zip3(arb_regex(), arb_word(), arb_word()),
+        |(re, target, w)| {
+            let nfa = Nfa::from_regex(re);
+            let removed = nfa.remove_word(target);
+            if w == target {
+                prop_assert!(!removed.accepts(w));
+            } else {
+                prop_assert_eq!(removed.accepts(w), nfa.accepts(w));
             }
-            // `shortest_word` cannot synthesize a witness whose every path
-            // needs a co-finite step; emptiness must still be sound.
-            None => {
-                if !empty {
-                    // Then every accepting path crosses a co-finite edge.
-                    // Verify via a fresh symbol probe up to length 6.
-                    let mut found = false;
-                    let syms: Vec<u8> = vec![0, 1, 2, 99];
-                    let mut stack: Vec<Vec<u8>> = vec![vec![]];
-                    while let Some(w) = stack.pop() {
-                        if dfa.accepts(&w) {
-                            found = true;
-                            break;
-                        }
-                        if w.len() < 6 {
-                            for &s in &syms {
-                                let mut w2 = w.clone();
-                                w2.push(s);
-                                stack.push(w2);
+            Ok(())
+        },
+    );
+}
+
+/// The regex `reverse()` agrees with NFA reversal.
+#[test]
+fn regex_reverse_agrees() {
+    forall(
+        "regex_reverse_agrees",
+        Config::with_cases(CASES),
+        &zip2(arb_regex(), arb_word()),
+        |(re, w)| {
+            let r = re.reverse();
+            let fwd = Nfa::from_regex(re);
+            let bwd = Nfa::from_regex(&r);
+            let mut m = w.clone();
+            m.reverse();
+            prop_assert_eq!(fwd.accepts(w), bwd.accepts(&m));
+            Ok(())
+        },
+    );
+}
+
+/// Emptiness is exact.
+#[test]
+fn emptiness_consistent() {
+    forall(
+        "emptiness_consistent",
+        Config::with_cases(CASES),
+        &arb_regex(),
+        |re| {
+            let dfa = Nfa::from_regex(re).to_dfa();
+            let empty = dfa.is_empty_lang();
+            match dfa.shortest_word() {
+                Some(w) => {
+                    prop_assert!(!empty);
+                    prop_assert!(dfa.accepts(&w));
+                }
+                // `shortest_word` cannot synthesize a witness whose every
+                // path needs a co-finite step; emptiness must still be
+                // sound.
+                None => {
+                    if !empty {
+                        // Then every accepting path crosses a co-finite
+                        // edge. Verify via a fresh-symbol probe up to
+                        // length 6.
+                        let mut found = false;
+                        let syms: Vec<u8> = vec![0, 1, 2, 99];
+                        let mut stack: Vec<Vec<u8>> = vec![vec![]];
+                        while let Some(w) = stack.pop() {
+                            if dfa.accepts(&w) {
+                                found = true;
+                                break;
+                            }
+                            if w.len() < 6 {
+                                for &s in &syms {
+                                    let mut w2 = w.clone();
+                                    w2.push(s);
+                                    stack.push(w2);
+                                }
                             }
                         }
+                        prop_assert!(found, "non-empty but no witness within bound");
                     }
-                    prop_assert!(found, "non-empty but no witness within bound");
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
-/// Dense compilation agrees with the symbolic DFA (separate block: needs a
-/// fixed alphabet).
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn dense_agrees(re in arb_regex(), w in arb_word()) {
-        let dfa = Nfa::from_regex(&re).to_dfa();
-        let dense = hedgex_automata::DenseDfa::compile(&dfa, &[0, 1, 2]);
-        prop_assert_eq!(dfa.accepts(&w), dense.accepts(&w));
-    }
+/// Dense compilation agrees with the symbolic DFA.
+#[test]
+fn dense_agrees() {
+    forall(
+        "dense_agrees",
+        Config::with_cases(128),
+        &zip2(arb_regex(), arb_word()),
+        |(re, w)| {
+            let dfa = Nfa::from_regex(re).to_dfa();
+            let dense = hedgex_automata::DenseDfa::compile(&dfa, &[0, 1, 2]);
+            prop_assert_eq!(dfa.accepts(w), dense.accepts(w));
+            Ok(())
+        },
+    );
 }

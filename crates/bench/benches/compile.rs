@@ -9,10 +9,10 @@
 //!   the ≡ classes, and N);
 //! * `decompile/…` — Lemma 2 on the paper's M₀ (HA → HRE).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hedgex_testkit::{Bench, BenchmarkId};
 
-use hedgex_core::{compile_hre, decompile_dha, CompiledPhr};
 use hedgex_core::hre::parse_hre;
+use hedgex_core::{compile_hre, decompile_dha, CompiledPhr};
 use hedgex_ha::determinize;
 use hedgex_ha::paper::m0;
 use hedgex_hedge::Alphabet;
@@ -30,9 +30,7 @@ fn fan_hre(width: usize) -> String {
     format!("({})*", alts.join("|"))
 }
 
-
-
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile(c: &mut Bench) {
     let mut group = c.benchmark_group("E6_compile");
     group.sample_size(10);
     for d in [2usize, 4, 8, 16, 32] {
@@ -82,5 +80,7 @@ fn bench_compile(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_compile(&mut c);
+}

@@ -6,13 +6,13 @@
 //! * `typical/k` — a layered document grammar (≈k states; the shape of
 //!   real schemas, where bottom-up behaviour is almost deterministic).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hedgex_testkit::{Bench, BenchmarkId};
 
 use hedgex_bench::{depth_memory_nha, layered_schema_nha};
 use hedgex_ha::determinize;
 use hedgex_hedge::Alphabet;
 
-fn bench_determinize(c: &mut Criterion) {
+fn bench_determinize(c: &mut Bench) {
     let mut group = c.benchmark_group("E2_determinize");
     group.sample_size(10);
     for k in [2usize, 3, 4, 5] {
@@ -40,5 +40,7 @@ fn bench_determinize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_determinize);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_determinize(&mut c);
+}

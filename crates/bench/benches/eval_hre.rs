@@ -6,12 +6,12 @@
 //! check). The paper's claim: time linear in nodes — throughput
 //! (nodes/second) should stay flat across the sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hedgex_testkit::{Bench, BenchmarkId, Throughput};
 
 use hedgex_bench::{doc_workload, figure_content_hre};
 use hedgex_core::mark_down::{compile_to_dha, mark_run};
 
-fn bench_eval_hre(c: &mut Criterion) {
+fn bench_eval_hre(c: &mut Bench) {
     let mut group = c.benchmark_group("E4_eval_hre_linear");
     group.sample_size(20);
     for &n in &[1_000usize, 4_000, 16_000, 64_000, 256_000] {
@@ -29,5 +29,7 @@ fn bench_eval_hre(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eval_hre);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_eval_hre(&mut c);
+}

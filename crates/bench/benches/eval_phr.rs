@@ -7,14 +7,14 @@
 //! node-throughput for the two-pass evaluator, linearly degrading
 //! throughput for the baseline, crossover at tiny documents only.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hedgex_testkit::{Bench, BenchmarkId, Throughput};
 
 use hedgex_baseline::quadratic_locate_phr;
 use hedgex_bench::{doc_workload, figure_before_table_phr};
 use hedgex_core::two_pass;
 use hedgex_core::CompiledPhr;
 
-fn bench_two_pass(c: &mut Criterion) {
+fn bench_two_pass(c: &mut Bench) {
     let mut group = c.benchmark_group("E5_two_pass_linear");
     group.sample_size(15);
     for &n in &[1_000usize, 4_000, 16_000, 64_000, 256_000] {
@@ -29,7 +29,7 @@ fn bench_two_pass(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_quadratic(c: &mut Criterion) {
+fn bench_quadratic(c: &mut Bench) {
     let mut group = c.benchmark_group("E5_naive_quadratic");
     group.sample_size(10);
     for &n in &[1_000usize, 2_000, 4_000, 8_000] {
@@ -44,5 +44,8 @@ fn bench_quadratic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_two_pass, bench_quadratic);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_two_pass(&mut c);
+    bench_quadratic(&mut c);
+}

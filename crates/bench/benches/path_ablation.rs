@@ -12,13 +12,13 @@
 //! constant-factor evaluation overhead (classes + signatures) and a much
 //! larger compilation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hedgex_testkit::{Bench, Throughput};
 
 use hedgex_bench::{doc_workload, figure_path};
 use hedgex_core::two_pass;
 use hedgex_core::CompiledPhr;
 
-fn bench_path_ablation(c: &mut Criterion) {
+fn bench_path_ablation(c: &mut Bench) {
     let mut w = doc_workload(64_000, 0xE8);
     let path = figure_path(&mut w.ab);
     let z = w.ab.sub("zz");
@@ -48,5 +48,7 @@ fn bench_path_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_path_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_path_ablation(&mut c);
+}

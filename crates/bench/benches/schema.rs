@@ -7,7 +7,7 @@
 //! complexity bound beyond "regular sets are closed under …"; the bench
 //! records how the construction scales with schema layers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hedgex_testkit::{Bench, BenchmarkId};
 
 use hedgex_automata::Regex;
 use hedgex_core::hre::parse_hre;
@@ -37,7 +37,7 @@ fn schema(k: usize, ab: &mut Alphabet) -> Dha {
     b.build()
 }
 
-fn bench_schema_transform(c: &mut Criterion) {
+fn bench_schema_transform(c: &mut Bench) {
     let mut group = c.benchmark_group("E7_schema_transform");
     group.sample_size(10);
     for k in [1usize, 2, 3, 4] {
@@ -71,5 +71,7 @@ fn bench_schema_transform(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schema_transform);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_schema_transform(&mut c);
+}

@@ -1,6 +1,9 @@
 //! Regenerate the non-timing experiment tables (state counts, sizes,
 //! accept/reject matrices). Timing figures come from `cargo bench`; this
-//! binary prints everything EXPERIMENTS.md records that Criterion doesn't.
+//! binary prints everything EXPERIMENTS.md records that the wall-clock
+//! harness doesn't, and writes the same numbers as machine-readable JSON
+//! to `target/bench-reports/REPORT.json` (directory overridable via
+//! `HEDGEX_BENCH_OUT`).
 //!
 //! ```sh
 //! cargo run --release -p hedgex-bench --bin report
@@ -17,22 +20,35 @@ use hedgex_core::{compile_hre, decompile_dha, CompiledPhr};
 use hedgex_ha::paper::{m0, m1};
 use hedgex_ha::{determinize, DhaBuilder, Leaf};
 use hedgex_hedge::{parse_hedge, Alphabet};
+use hedgex_testkit::Json;
 
 fn main() {
-    e1_worked_examples();
-    e2_determinization();
-    e3_roundtrip();
-    e6_compile_sizes();
-    e7_schema();
-    e8_path_ablation();
+    let report = Json::obj([
+        ("e1_worked_examples", e1_worked_examples()),
+        ("e2_determinization", e2_determinization()),
+        ("e3_roundtrip", e3_roundtrip()),
+        ("e6_compile_sizes", e6_compile_sizes()),
+        ("e7_schema", e7_schema()),
+        ("e8_path_ablation", e8_path_ablation()),
+    ]);
+    let dir = std::env::var_os("HEDGEX_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/bench-reports"));
+    let path = dir.join("REPORT.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, format!("{report}\n")))
+    {
+        Ok(()) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
-fn e1_worked_examples() {
+fn e1_worked_examples() -> Json {
     println!("== E1: Section 3 worked examples (accept/reject) ==");
     let mut ab = Alphabet::new();
     let a0 = m0(&mut ab);
     let a1 = m1(&mut ab);
     println!("{:<30} {:>6} {:>6}", "hedge", "M0", "M1");
+    let mut rows = Vec::new();
     for src in [
         "d<p<$x> p<$y>> d<p<$x>>",
         "d<p<$x> p<$y>>",
@@ -43,60 +59,68 @@ fn e1_worked_examples() {
         "",
     ] {
         let h = parse_hedge(src, &mut ab).unwrap();
+        let (in0, in1) = (a0.accepts(&h), a1.accepts(&h));
         println!(
             "{:<30} {:>6} {:>6}",
             if src.is_empty() { "(empty)" } else { src },
-            a0.accepts(&h),
-            a1.accepts(&h)
+            in0,
+            in1
         );
+        rows.push(Json::obj([
+            ("hedge", Json::Str(src.to_string())),
+            ("m0", Json::Bool(in0)),
+            ("m1", Json::Bool(in1)),
+        ]));
     }
     println!();
+    Json::Arr(rows)
 }
 
-fn e2_determinization() {
+fn e2_determinization() -> Json {
     println!("== E2: determinization state counts (Theorem 1 / §9 conjecture) ==");
     println!(
         "{:<14} {:>4} {:>12} {:>12} {:>12}",
         "family", "k", "NHA states", "DHA states", "build time"
     );
-    for k in [2usize, 3, 4, 5, 6] {
-        let mut ab = Alphabet::new();
-        let nha = depth_memory_nha(k, &mut ab);
+    let mut rows = Vec::new();
+    let mut run = |family: &str, k: usize, nha: hedgex_ha::Nha| {
         let t = Instant::now();
         let det = determinize(&nha);
         println!(
             "{:<14} {:>4} {:>12} {:>12} {:>12?}",
-            "adversarial",
+            family,
             k,
             nha.num_states(),
             det.dha.num_states(),
             t.elapsed()
         );
+        rows.push(Json::obj([
+            ("family", Json::Str(family.to_string())),
+            ("k", Json::Num(k as f64)),
+            ("nha_states", Json::Num(nha.num_states() as f64)),
+            ("dha_states", Json::Num(det.dha.num_states() as f64)),
+        ]));
+    };
+    for k in [2usize, 3, 4, 5, 6] {
+        let mut ab = Alphabet::new();
+        run("adversarial", k, depth_memory_nha(k, &mut ab));
     }
     for k in [2usize, 4, 8, 16, 32] {
         let mut ab = Alphabet::new();
-        let nha = layered_schema_nha(k, &mut ab);
-        let t = Instant::now();
-        let det = determinize(&nha);
-        println!(
-            "{:<14} {:>4} {:>12} {:>12} {:>12?}",
-            "typical",
-            k,
-            nha.num_states(),
-            det.dha.num_states(),
-            t.elapsed()
-        );
+        run("typical", k, layered_schema_nha(k, &mut ab));
     }
     println!();
+    Json::Arr(rows)
 }
 
-fn e3_roundtrip() {
+fn e3_roundtrip() -> Json {
     println!("== E3: Theorem 2 round trip (HRE ↔ HA) ==");
     let mut ab = Alphabet::new();
     // Note: expressions using substitution symbols compile to automata with
     // ι(z̄) leaf states, which Lemma 2 cannot re-express over H[Σ, X]
     // (documented limitation); the round trip is exercised on the
     // substitution-free fragment.
+    let mut rows = Vec::new();
     for src in ["(a<b*>|b)*", "a<b>* b?", "(a<b* $x?>|b<a?>)*"] {
         let e = parse_hre(src, &mut ab).unwrap();
         let nha = compile_hre(&e);
@@ -112,16 +136,25 @@ fn e3_roundtrip() {
             back.size(),
             t.elapsed()
         );
+        rows.push(Json::obj([
+            ("hre", Json::Str(src.to_string())),
+            ("hre_size", Json::Num(e.size() as f64)),
+            ("nha_states", Json::Num(nha.num_states() as f64)),
+            ("dha_states", Json::Num(det.dha.num_states() as f64)),
+            ("decompiled_size", Json::Num(back.size() as f64)),
+        ]));
     }
     println!();
+    Json::Arr(rows)
 }
 
-fn e6_compile_sizes() {
+fn e6_compile_sizes() -> Json {
     println!("== E6: compilation artifact sizes (Theorem 4) ==");
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>12}",
         "triplets", "PHR size", "M states", "≡ classes", "compile time"
     );
+    let mut rows = Vec::new();
     for t in 1..=4usize {
         let mut ab = Alphabet::new();
         let phr = varied_phr(t, &mut ab);
@@ -135,11 +168,18 @@ fn e6_compile_sizes() {
             c.classes.num_classes(),
             t0.elapsed()
         );
+        rows.push(Json::obj([
+            ("triplets", Json::Num(t as f64)),
+            ("phr_size", Json::Num(phr.size() as f64)),
+            ("m_states", Json::Num(c.m.num_states() as f64)),
+            ("classes", Json::Num(c.classes.num_classes() as f64)),
+        ]));
     }
     println!();
+    Json::Arr(rows)
 }
 
-fn e7_schema() {
+fn e7_schema() -> Json {
     println!("== E7: schema transformation artifacts (Theorem 5 / §8) ==");
     let mut ab = Alphabet::new();
     let article = ab.sym("article");
@@ -177,14 +217,40 @@ fn e7_schema() {
         st.live_marked.iter().filter(|&&m| m).count(),
         t.elapsed()
     );
-    for probe in ["figure<caption>", "figure<caption<$#text>>", "caption", "para"] {
+    let mut probes = Vec::new();
+    for probe in [
+        "figure<caption>",
+        "figure<caption<$#text>>",
+        "caption",
+        "para",
+    ] {
         let h = parse_hedge(probe, &mut ab).unwrap();
-        println!("  output schema ∋ {probe:28} = {}", st.output.accepts(&h));
+        let accepted = st.output.accepts(&h);
+        println!("  output schema ∋ {probe:28} = {accepted}");
+        probes.push(Json::obj([
+            ("hedge", Json::Str(probe.to_string())),
+            ("accepted", Json::Bool(accepted)),
+        ]));
     }
     println!();
+    Json::obj([
+        (
+            "intersection_states",
+            Json::Num(st.intersection.num_states() as f64),
+        ),
+        (
+            "marked",
+            Json::Num(st.marked.iter().filter(|&&m| m).count() as f64),
+        ),
+        (
+            "live_marked",
+            Json::Num(st.live_marked.iter().filter(|&&m| m).count() as f64),
+        ),
+        ("probes", Json::Arr(probes)),
+    ])
 }
 
-fn e8_path_ablation() {
+fn e8_path_ablation() -> Json {
     println!("== E8: path-expression special case vs general PHR (§8 end) ==");
     let mut w = doc_workload(64_000, 0xE8);
     let path = figure_path(&mut w.ab);
@@ -209,7 +275,10 @@ fn e8_path_ablation() {
     let general_t = t.elapsed();
     assert_eq!(direct, general);
 
-    println!("document: {} nodes; query: article section* figure", w.nodes);
+    println!(
+        "document: {} nodes; query: article section* figure",
+        w.nodes
+    );
     println!(
         "{:<34} {:>10} {:>14}",
         "construction", "states", "build time"
@@ -241,4 +310,10 @@ fn e8_path_ablation() {
     );
     // Complexity note (E5/E4 shapes come from `cargo bench`).
     println!();
+    Json::obj([
+        ("nodes", Json::Num(w.nodes as f64)),
+        ("phr_m_states", Json::Num(compiled.m.num_states() as f64)),
+        ("simple_states", Json::Num(simple.nha.num_states() as f64)),
+        ("matches", Json::Num(direct.len() as f64)),
+    ])
 }

@@ -116,9 +116,7 @@ pub fn layered_schema_nha(k: usize, ab: &mut Alphabet) -> hedgex_ha::Nha {
     use hedgex_automata::Regex;
     use hedgex_ha::NhaBuilder;
     let para = ab.sym("para");
-    let levels: Vec<_> = (0..k)
-        .map(|i| ab.sym(&format!("sec{i}")))
-        .collect();
+    let levels: Vec<_> = (0..k).map(|i| ab.sym(&format!("sec{i}"))).collect();
     // State i = a level-i section; state k = a para.
     let mut nb = NhaBuilder::new(k as u32 + 1);
     nb.rule(para, Regex::Epsilon, k as u32);
@@ -153,10 +151,7 @@ mod tests {
         // And they are all figures.
         let fig = w.ab.get_sym("figure").unwrap();
         for n in hits {
-            assert_eq!(
-                w.doc.label(n),
-                hedgex_hedge::flat::FlatLabel::Sym(fig)
-            );
+            assert_eq!(w.doc.label(n), hedgex_hedge::flat::FlatLabel::Sym(fig));
         }
     }
 
@@ -194,10 +189,7 @@ mod tests {
         assert!(!n.accepts(&Hedge::node(a, Hedge::leaf(b))));
         assert!(!n.accepts(&Hedge::leaf(b)));
         // A node holding depths {1, 2} still accepts via 2.
-        let mixed = Hedge::node(
-            a,
-            Hedge::leaf(b).concat(Hedge::node(a, Hedge::leaf(b))),
-        );
+        let mixed = Hedge::node(a, Hedge::leaf(b).concat(Hedge::node(a, Hedge::leaf(b))));
         assert!(n.accepts(&mixed));
     }
 

@@ -41,9 +41,7 @@ pub fn nha_is_ambiguous(nha: &Nha) -> bool {
     // ---- Flagged pair states: (q1, q2, diverged) interned. -------------
     let mut ids: HashMap<(HState, HState, bool), u32> = HashMap::new();
     let mut pairs: Vec<(HState, HState, bool)> = Vec::new();
-    let mut intern = |p: (HState, HState, bool),
-                      pairs: &mut Vec<(HState, HState, bool)>|
-     -> u32 {
+    let mut intern = |p: (HState, HState, bool), pairs: &mut Vec<(HState, HState, bool)>| -> u32 {
         *ids.entry(p).or_insert_with(|| {
             pairs.push(p);
             (pairs.len() - 1) as u32

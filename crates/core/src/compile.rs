@@ -224,8 +224,8 @@ pub fn compile_hre(e: &Hre) -> Nha {
 mod tests {
     use super::*;
     use crate::hre::parse_hre;
-    use hedgex_ha::enumerate::enumerate_hedges_with_subs;
     use hedgex_ha::determinize;
+    use hedgex_ha::enumerate::enumerate_hedges_with_subs;
     use hedgex_hedge::{parse_hedge, Alphabet};
 
     /// Compile `expr` and check the NHA against the declarative matcher on

@@ -73,9 +73,9 @@ pub fn decompile_dha(dha: &Dha, ab: &mut Alphabet) -> Hre {
     for leaf in dha.leaves() {
         match leaf {
             Leaf::Var(x) => leaf_vars.entry(dha.iota(leaf)).or_default().push(x),
-            Leaf::Sub(_) => panic!(
-                "decompile_dha: ι on substitution symbols is not representable as an HRE"
-            ),
+            Leaf::Sub(_) => {
+                panic!("decompile_dha: ι on substitution symbols is not representable as an HRE")
+            }
         }
     }
     let mut universe = Vec::new();

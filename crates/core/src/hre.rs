@@ -220,8 +220,9 @@ fn matches_env(e: &Hre, h: &[Tree], env: &Env<'_>) -> bool {
             _ => false,
         },
         Hre::Alt(e1, e2) => matches_env(e1, h, env) || matches_env(e2, h, env),
-        Hre::Concat(e1, e2) => (0..=h.len())
-            .any(|k| matches_env(e1, &h[..k], env) && matches_env(e2, &h[k..], env)),
+        Hre::Concat(e1, e2) => {
+            (0..=h.len()).any(|k| matches_env(e1, &h[..k], env) && matches_env(e2, &h[k..], env))
+        }
         Hre::Star(inner) => {
             // DP over prefix lengths; blocks are non-empty to terminate.
             let n = h.len();

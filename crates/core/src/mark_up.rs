@@ -74,8 +74,7 @@ impl MarkUp {
 
         // State ids: 0..nq are (q, ⊥); then nq + (q·|S| + s)·|Σ| + a.
         let bot = |q: HState| q;
-        let triple =
-            |q: HState, s: u32, ai: u32| nq + (q * ns + s) * na + ai;
+        let triple = |q: HState, s: u32, ai: u32| nq + (q * ns + s) * na + ai;
         let num_states = nq + nq * ns * na;
         let mut decode = Vec::with_capacity(num_states as usize);
         for q in 0..nq {
@@ -160,10 +159,7 @@ impl MarkUp {
                 for s in 0..ns {
                     let lang = lifted.intersect(&good[s as usize]);
                     if !lang.is_empty_lang() {
-                        rules
-                            .entry(a)
-                            .or_default()
-                            .push((lang, triple(q, s, ai)));
+                        rules.entry(a).or_default().push((lang, triple(q, s, ai)));
                     }
                 }
             }
@@ -172,9 +168,7 @@ impl MarkUp {
         // F′: every child of the virtual super-root is consistent with s₀
         // (no M-condition — M′ accepts all hedges).
         let all = Nfa::from_regex(&hedgex_automata::Regex::<HState>::any_sym().star()).to_dfa();
-        let finals = all
-            .intersect(&good[n_expl.start() as usize])
-            .to_nfa();
+        let finals = all.intersect(&good[n_expl.start() as usize]).to_nfa();
 
         let marked: Vec<bool> = decode
             .iter()
@@ -198,9 +192,9 @@ impl MarkUp {
         h.preorder()
             .filter(|&n| {
                 matches!(h.label(n), FlatLabel::Sym(_))
-                    && self.nha.accepts_flat_filtered(h, &|id, q| {
-                        id != n || self.marked[q as usize]
-                    })
+                    && self
+                        .nha
+                        .accepts_flat_filtered(h, &|id, q| id != n || self.marked[q as usize])
             })
             .collect()
     }
@@ -209,11 +203,7 @@ impl MarkUp {
 /// The `h`-image of a DFA over `Q`: relabel every state letter `q` by the
 /// class of all M′ ids projecting to `q` (the homomorphism `h` of the
 /// proof, `h(q) = ({q} × S × Σ) ∪ {(q, ⊥)}`).
-fn lift_by_projection(
-    dfa: &Dfa<HState>,
-    nq: HState,
-    ids_by_q: &[Vec<HState>],
-) -> Dfa<HState> {
+fn lift_by_projection(dfa: &Dfa<HState>, nq: HState, ids_by_q: &[Vec<HState>]) -> Dfa<HState> {
     let n = dfa.num_states();
     let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::with_capacity(n);
     for st in 0..n as StateId {
@@ -271,10 +261,7 @@ fn bad_children_nfa(
         let mut by_next: BTreeMap<u32, Vec<HState>> = BTreeMap::new();
         for id in 0..num_states {
             let q = proj_q(id);
-            by_next
-                .entry(phr.classes.step(c, &q))
-                .or_default()
-                .push(id);
+            by_next.entry(phr.classes.step(c, &q)).or_default().push(id);
         }
         for (next, ids) in by_next {
             trans[p1(c) as usize].push((CharClass::of(ids), p1(next)));
@@ -291,8 +278,7 @@ fn bad_children_nfa(
                 }
             }
             if !bad_ids.is_empty() {
-                trans[p1(c) as usize]
-                    .push((CharClass::of(bad_ids), p2(phr.classes.start(), c2)));
+                trans[p1(c) as usize].push((CharClass::of(bad_ids), p2(phr.classes.start(), c2)));
             }
         }
     }
@@ -303,10 +289,7 @@ fn bad_children_nfa(
             let mut by_next: BTreeMap<u32, Vec<HState>> = BTreeMap::new();
             for id in 0..num_states {
                 let q = proj_q(id);
-                by_next
-                    .entry(phr.classes.step(c, &q))
-                    .or_default()
-                    .push(id);
+                by_next.entry(phr.classes.step(c, &q)).or_default().push(id);
             }
             for (next, ids) in by_next {
                 trans[st as usize].push((CharClass::of(ids), p2(next, c2)));
@@ -314,7 +297,12 @@ fn bad_children_nfa(
             accept[st as usize] = c == c2;
         }
     }
-    Nfa::from_raw(trans, vec![Vec::new(); total], p1(phr.classes.start()), accept)
+    Nfa::from_raw(
+        trans,
+        vec![Vec::new(); total],
+        p1(phr.classes.start()),
+        accept,
+    )
 }
 
 #[cfg(test)]
@@ -338,10 +326,7 @@ mod tests {
         let mu = MarkUp::build(&compiled, &syms, &vars);
         for h in enumerate_hedges(&syms, &vars, max_nodes) {
             let f = FlatHedge::from_hedge(&h);
-            assert!(
-                mu.nha.accepts_flat(&f),
-                "{phr_src}: M′ must accept {h:?}"
-            );
+            assert!(mu.nha.accepts_flat(&f), "{phr_src}: M′ must accept {h:?}");
             let expected = two_pass::locate(&compiled, &f);
             let got = mu.locate(&f);
             assert_eq!(got, expected, "{phr_src}: marking mismatch on {h:?}");
@@ -401,7 +386,9 @@ mod tests {
                 let surviving: Vec<HState> = (0..mu.nha.num_states())
                     .filter(|&q| {
                         matches!(mu.decode[q as usize], MarkUpState::Triple(..))
-                            && mu.nha.accepts_flat_filtered(&f, &|id, st| id != n || st == q)
+                            && mu
+                                .nha
+                                .accepts_flat_filtered(&f, &|id, st| id != n || st == q)
                     })
                     .collect();
                 assert_eq!(

@@ -91,14 +91,17 @@ impl PathExpr {
             .map(|(i, &a)| (a, i as u32))
             .collect();
         // Path regexes are top-down; PHR decomposition order is bottom-up.
-        let regex = self.regex.reverse().substitute(&mut |c: &CharClass<SymId>| {
-            Regex::any_of(
-                sigma
-                    .iter()
-                    .filter(|a| c.contains(a))
-                    .map(|a| Regex::sym(idx[a])),
-            )
-        });
+        let regex = self
+            .regex
+            .reverse()
+            .substitute(&mut |c: &CharClass<SymId>| {
+                Regex::any_of(
+                    sigma
+                        .iter()
+                        .filter(|a| c.contains(a))
+                        .map(|a| Regex::sym(idx[a])),
+                )
+            });
         Phr { triplets, regex }
     }
 
@@ -172,9 +175,9 @@ impl PathMarkUp {
         h.preorder()
             .filter(|&n| {
                 matches!(h.label(n), FlatLabel::Sym(_))
-                    && self.nha.accepts_flat_filtered(h, &|id, q| {
-                        id != n || self.marked[q as usize]
-                    })
+                    && self
+                        .nha
+                        .accepts_flat_filtered(h, &|id, q| id != n || self.marked[q as usize])
             })
             .collect()
     }

@@ -355,11 +355,7 @@ mod tests {
         // universal over {sec, fig}.
         let mut ab = Alphabet::new();
         let u = "(sec<%z>|fig<%z>)*^z";
-        let phr = parse_phr(
-            &format!("[{u} ; fig ; {u}][{u} ; sec ; {u}]"),
-            &mut ab,
-        )
-        .unwrap();
+        let phr = parse_phr(&format!("[{u} ; fig ; {u}][{u} ; sec ; {u}]"), &mut ab).unwrap();
         let h = parse_hedge("sec<fig fig<fig>> sec<sec<fig>> fig", &mut ab).unwrap();
         let f = FlatHedge::from_hedge(&h);
         let located = phr.locate_naive(&f);

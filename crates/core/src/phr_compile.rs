@@ -209,10 +209,7 @@ impl ExplicitN {
 
     /// `μ(sig, s)`.
     pub fn step(&self, s: u32, sig: SigMask) -> u32 {
-        let j = *self
-            .sig_idx
-            .get(&sig)
-            .unwrap_or_else(|| &self.sig_idx[&0]);
+        let j = *self.sig_idx.get(&sig).unwrap_or_else(|| &self.sig_idx[&0]);
         self.table[s as usize * self.width + j as usize]
     }
 
@@ -281,8 +278,7 @@ impl MirrorDfa {
                 }
             }
         }
-        self.nfa
-            .eps_closure(&moved.into_iter().collect::<Vec<_>>())
+        self.nfa.eps_closure(&moved.into_iter().collect::<Vec<_>>())
     }
 
     fn step(&self, s: u32, sig: SigMask) -> u32 {

@@ -141,10 +141,10 @@ mod tests {
         let compiled = q.compile();
         for (src, expect) in [
             ("a<b>", vec![0u32]),
-            ("a<b b>", vec![]),   // subhedge fails
-            ("b<b>", vec![]),     // envelope label fails
+            ("a<b b>", vec![]), // subhedge fails
+            ("b<b>", vec![]),   // envelope label fails
             ("a<a<b>>", vec![1]), // hmm: inner a at depth 2 — envelope needs
-                                  // exactly one base hedge, so only depth 1…
+                                // exactly one base hedge, so only depth 1…
         ] {
             let h = parse_hedge(src, &mut ab).unwrap();
             let f = FlatHedge::from_hedge(&h);

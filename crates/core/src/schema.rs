@@ -75,11 +75,7 @@ pub fn transform_select(
 
     // 3. usefulness on the intersection.
     let useful = nha_useful(&prod.nha);
-    let live_marked: Vec<bool> = marked
-        .iter()
-        .zip(&useful)
-        .map(|(&m, &u)| m && u)
-        .collect();
+    let live_marked: Vec<bool> = marked.iter().zip(&useful).map(|(&m, &u)| m && u).collect();
 
     // 4. output schema: same rules, finals = live marked singletons.
     let finals_re = Regex::any_of(

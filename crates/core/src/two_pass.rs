@@ -48,9 +48,7 @@ pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
 
     // Process every sibling group: the roots, and each node's children.
     let mut group: Vec<NodeId> = Vec::new();
-    let process = |group: &[NodeId],
-                       elder_class: &mut Vec<u32>,
-                       younger_class: &mut Vec<u32>| {
+    let process = |group: &[NodeId], elder_class: &mut Vec<u32>, younger_class: &mut Vec<u32>| {
         // Prefix classes, left to right.
         let mut c = start;
         for &id in group {
@@ -105,7 +103,11 @@ pub fn locate(phr: &CompiledPhr, h: &FlatHedge) -> Vec<NodeId> {
             None => phr.n_start(),
             Some(p) => n_state[p as usize],
         };
-        let sig = phr.signature(fp.elder_class[id as usize], a, fp.younger_class[id as usize]);
+        let sig = phr.signature(
+            fp.elder_class[id as usize],
+            a,
+            fp.younger_class[id as usize],
+        );
         let s = phr.n_step(parent_state, sig);
         n_state[id as usize] = s;
         if phr.n_accepting(s) {

@@ -11,7 +11,10 @@ use hedgex_hedge::{Alphabet, SubId, SymId, VarId};
 struct Lcg(u64);
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
     fn below(&mut self, n: u64) -> u64 {
@@ -97,7 +100,10 @@ fn fuzz_ambiguity_vs_counting() {
         let witness = hedges.iter().any(|h| count_computations(&nha, h) >= 2);
         // witness ⇒ amb must hold always (soundness of "unambiguous").
         if witness {
-            assert!(amb, "iter {i}: {e:?} has a 2-computation witness but checker says unambiguous");
+            assert!(
+                amb,
+                "iter {i}: {e:?} has a 2-computation witness but checker says unambiguous"
+            );
         }
         // amb without small witness may be a larger-hedge ambiguity; count them.
         if amb && !witness {

@@ -28,7 +28,9 @@ pub fn inhabited(dha: &Dha) -> Vec<bool> {
     loop {
         let mut changed = false;
         for &a in &symbols {
-            let hf = dha.horiz(a).expect("symbols() only yields declared symbols");
+            let hf = dha
+                .horiz(a)
+                .expect("symbols() only yields declared symbols");
             // Horizontal states reachable reading inhabited letters.
             let mut seen = vec![false; hf.num_classes()];
             let mut queue = VecDeque::from([hf.start()]);
@@ -90,9 +92,11 @@ pub fn witnesses(dha: &Dha) -> Vec<Option<Hedge>> {
                 if wit[r].is_none() {
                     let mut content = Hedge::empty();
                     for &q in &word {
-                        content = content.concat(wit[q as usize].clone().expect(
-                            "witness words only use witnessed states",
-                        ));
+                        content = content.concat(
+                            wit[q as usize]
+                                .clone()
+                                .expect("witness words only use witnessed states"),
+                        );
                     }
                     wit[r] = Some(Hedge::node(a, content));
                     changed = true;
@@ -285,10 +289,7 @@ pub fn useful(dha: &Dha) -> Vec<bool> {
                     continue;
                 }
                 for q in 0..dha.num_states() {
-                    if inh[q as usize]
-                        && !useful[q as usize]
-                        && back_h[hf.step(h, q) as usize]
-                    {
+                    if inh[q as usize] && !useful[q as usize] && back_h[hf.step(h, q) as usize] {
                         useful[q as usize] = true;
                         changed = true;
                     }
@@ -462,9 +463,7 @@ pub fn nha_useful(nha: &crate::nha::Nha) -> Vec<bool> {
                         }
                     }
                 }
-                let mut stack: Vec<u32> = (0..m as u32)
-                    .filter(|&s| dfa.is_accepting(s))
-                    .collect();
+                let mut stack: Vec<u32> = (0..m as u32).filter(|&s| dfa.is_accepting(s)).collect();
                 for &s in &stack {
                     back_d[s as usize] = true;
                 }

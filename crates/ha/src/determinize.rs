@@ -88,9 +88,7 @@ pub fn determinize(nha: &Nha) -> Determinized {
     // Interned subsets. Id 0 is the empty subset (the sink).
     let mut ids: HashMap<BTreeSet<HState>, HState> = HashMap::new();
     let mut subsets: Vec<BTreeSet<HState>> = Vec::new();
-    let mut intern = |set: BTreeSet<HState>,
-                      subsets: &mut Vec<BTreeSet<HState>>|
-     -> HState {
+    let mut intern = |set: BTreeSet<HState>, subsets: &mut Vec<BTreeSet<HState>>| -> HState {
         *ids.entry(set.clone()).or_insert_with(|| {
             subsets.push(set);
             (subsets.len() - 1) as HState

@@ -137,8 +137,7 @@ impl HorizFn {
             }
             let cof = self.table[h as usize * (self.nsyms + 1) + self.nsyms];
             let mut edges: Vec<(CharClass<HState>, hedgex_automata::StateId)> = Vec::new();
-            let mut covered: std::collections::BTreeSet<HState> =
-                std::collections::BTreeSet::new();
+            let mut covered: std::collections::BTreeSet<HState> = std::collections::BTreeSet::new();
             for (tgt, syms) in by_target {
                 if tgt == cof {
                     continue; // folded into the co-finite edge
@@ -269,8 +268,7 @@ impl Dha {
             Tree::Var(x) => self.iota(Leaf::Var(*x)),
             Tree::Subst(z) => self.iota(Leaf::Sub(*z)),
             Tree::Node(a, children) => {
-                let word: Vec<HState> =
-                    children.trees().map(|c| self.state_of_tree(c)).collect();
+                let word: Vec<HState> = children.trees().map(|c| self.state_of_tree(c)).collect();
                 self.alpha(*a, &word)
             }
         }
@@ -408,12 +406,12 @@ mod tests {
         let mut ab = Alphabet::new();
         let m = m0(&mut ab);
         for bad in [
-            "d<p<$y>>",          // first child must be p⟨x⟩
-            "d<p<$x> p<$x>>",    // later children must be p⟨y⟩
-            "p<$x>",             // top level must be d's
-            "d<p<$x>> p<$y>",    // mixed top level
-            "d",                 // d with no children
-            "d<p<$x $x>>",       // p with two leaves
+            "d<p<$y>>",       // first child must be p⟨x⟩
+            "d<p<$x> p<$x>>", // later children must be p⟨y⟩
+            "p<$x>",          // top level must be d's
+            "d<p<$x>> p<$y>", // mixed top level
+            "d",              // d with no children
+            "d<p<$x $x>>",    // p with two leaves
         ] {
             let h = parse_hedge(bad, &mut ab).unwrap();
             assert!(!m.accepts(&h), "should reject {bad}");

@@ -166,8 +166,7 @@ fn rebuild(dha: &Dha, block: &[u32], symbols: &[hedgex_hedge::SymId]) -> (Dha, V
                     .push(b as HState);
             }
             let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
-            let mut covered: std::collections::BTreeSet<HState> =
-                std::collections::BTreeSet::new();
+            let mut covered: std::collections::BTreeSet<HState> = std::collections::BTreeSet::new();
             for (t, letters) in by_target {
                 covered.extend(letters.iter().copied());
                 edges.push((CharClass::of(letters), t));
@@ -191,7 +190,10 @@ fn rebuild(dha: &Dha, block: &[u32], symbols: &[hedgex_hedge::SymId]) -> (Dha, V
         let mut by_target: std::collections::BTreeMap<StateId, Vec<HState>> =
             std::collections::BTreeMap::new();
         for (&b, &q) in &rep_of_block {
-            by_target.entry(f.step(s, &q)).or_default().push(b as HState);
+            by_target
+                .entry(f.step(s, &q))
+                .or_default()
+                .push(b as HState);
         }
         let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
         let mut covered: std::collections::BTreeSet<HState> = std::collections::BTreeSet::new();
@@ -205,7 +207,9 @@ fn rebuild(dha: &Dha, block: &[u32], symbols: &[hedgex_hedge::SymId]) -> (Dha, V
     let finals = Dfa::from_parts(
         ftrans,
         f.start(),
-        (0..f.num_states() as StateId).map(|s| f.is_accepting(s)).collect(),
+        (0..f.num_states() as StateId)
+            .map(|s| f.is_accepting(s))
+            .collect(),
     );
 
     (

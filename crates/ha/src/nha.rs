@@ -72,10 +72,7 @@ impl Nha {
 
     /// `ι(leaf)` (empty when undefined, matching the paper's `ι(y) = ∅`).
     pub fn iota(&self, leaf: Leaf) -> &[HState] {
-        self.iota
-            .get(&leaf)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.iota.get(&leaf).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All declared leaf mappings.
@@ -150,12 +147,7 @@ impl Nha {
 
     /// Does `dfa` accept some word `w₁…w_k` with `w_i ∈ sets[child_i]`?
     /// (A DFA simulated non-deterministically over the symbol choices.)
-    fn dfa_reaches_accept(
-        &self,
-        dfa: &Dfa<HState>,
-        children: &[u32],
-        sets: &[StateSet],
-    ) -> bool {
+    fn dfa_reaches_accept(&self, dfa: &Dfa<HState>, children: &[u32], sets: &[StateSet]) -> bool {
         let mut cur: Vec<bool> = vec![false; dfa.num_states()];
         cur[dfa.start() as usize] = true;
         for &c in children {
@@ -392,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    fn m1_state_sets_match_paper_computations(){
+    fn m1_state_sets_match_paper_computations() {
         // The computations of d⟨p⟨xx⟩ p⟨xx⟩⟩ assign {q_p1, q_p2} to both
         // p nodes and {q_d} to the d node.
         let mut ab = Alphabet::new();

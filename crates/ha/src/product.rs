@@ -120,11 +120,7 @@ pub fn product_many(parts: &[&Dha]) -> ManyProduct {
             let mut work = vec![start.clone()];
             seen.insert(start);
             while let Some(cur) = work.pop() {
-                let res: Vec<HState> = vs
-                    .iter()
-                    .zip(&cur)
-                    .map(|(v, &h)| v.result(h))
-                    .collect();
+                let res: Vec<HState> = vs.iter().zip(&cur).map(|(v, &h)| v.result(h)).collect();
                 intern(res, &mut tuples);
                 let snapshot = tuples.len();
                 #[allow(clippy::needless_range_loop)] // interning mutates the indexed vec
@@ -205,11 +201,7 @@ pub fn product_many(parts: &[&Dha]) -> ManyProduct {
         let labels: Vec<HState> = order
             .iter()
             .map(|h| {
-                let res: Vec<HState> = vs
-                    .iter()
-                    .zip(h)
-                    .map(|(v, &hs)| v.result(hs))
-                    .collect();
+                let res: Vec<HState> = vs.iter().zip(h).map(|(v, &hs)| v.result(hs)).collect();
                 *ids.get(&res).expect("fixpoint interned every result tuple")
             })
             .collect();
@@ -274,11 +266,7 @@ pub struct DhaProduct {
 pub fn intersect(a: &Dha, b: &Dha) -> DhaProduct {
     let prod = product_many(&[a, b]);
     let finals = prod.lifted_finals[0].intersect(&prod.lifted_finals[1]);
-    let pairs = prod
-        .tuples
-        .iter()
-        .map(|t| (t[0], t[1]))
-        .collect();
+    let pairs = prod.tuples.iter().map(|t| (t[0], t[1])).collect();
     DhaProduct {
         dha: prod.dha.with_finals(finals),
         pairs,
@@ -314,10 +302,7 @@ pub fn product_nha_dha(n: &crate::nha::Nha, d: &Dha) -> NhaProduct {
     let mut iota: HashMap<Leaf, Vec<HState>> = HashMap::new();
     for (leaf, qns) in n.iotas() {
         let qd = d.iota(leaf);
-        let states: Vec<HState> = qns
-            .iter()
-            .map(|&qn| intern((qn, qd), &mut pairs))
-            .collect();
+        let states: Vec<HState> = qns.iter().map(|&qn| intern((qn, qd), &mut pairs)).collect();
         iota.insert(leaf, states);
     }
 
@@ -345,10 +330,7 @@ pub fn product_nha_dha(n: &crate::nha::Nha, d: &Dha) -> NhaProduct {
                     #[allow(clippy::needless_range_loop)] // interning mutates the indexed vec
                     for i in 0..snapshot {
                         let (pn, pd) = pairs[i];
-                        let next = (
-                            dfa.step(ds, &pn),
-                            hf.map_or(hs, |h| h.step(hs, pd)),
-                        );
+                        let next = (dfa.step(ds, &pn), hf.map_or(hs, |h| h.step(hs, pd)));
                         if seen.insert(next) {
                             work.push(next);
                         }
@@ -427,8 +409,7 @@ pub fn product_nha_dha(n: &crate::nha::Nha, d: &Dha) -> NhaProduct {
                 let accept: Vec<bool> = jorder
                     .iter()
                     .map(|&(ds, hs)| {
-                        dfa.is_accepting(ds)
-                            && hf.map_or(d.sink(), |h| h.result(hs)) == qd_target
+                        dfa.is_accepting(ds) && hf.map_or(d.sink(), |h| h.result(hs)) == qd_target
                     })
                     .collect();
                 let jdfa = Dfa::from_parts(trans.clone(), start, accept);
@@ -471,12 +452,7 @@ pub fn product_nha_dha(n: &crate::nha::Nha, d: &Dha) -> NhaProduct {
             }
         }
     }
-    let finals = hedgex_automata::Nfa::from_raw(
-        trans,
-        eps,
-        fid(fnfa.start(), fd.start()),
-        accept,
-    );
+    let finals = hedgex_automata::Nfa::from_raw(trans, eps, fid(fnfa.start(), fd.start()), accept);
 
     NhaProduct {
         nha: Nha::from_parts(num_states, iota, rules, finals),
@@ -527,7 +503,12 @@ mod tests {
         let syms: Vec<_> = ab.syms().collect();
         for h in enumerate_hedges(&syms, &[], 5) {
             let expect = m1.accepts(&h) && m2.accepts(&h);
-            assert_eq!(prod.dha.accepts(&h), expect, "hedge with {} nodes", h.size());
+            assert_eq!(
+                prod.dha.accepts(&h),
+                expect,
+                "hedge with {} nodes",
+                h.size()
+            );
         }
     }
 

@@ -181,7 +181,12 @@ impl FlatHedge {
     /// The subhedge of `n` (Definition 21): the hedge of all descendants,
     /// i.e. the children sequence of `n` as a recursive hedge.
     pub fn subhedge(&self, n: NodeId) -> Hedge {
-        Hedge(self.children(n).into_iter().map(|c| self.to_tree(c)).collect())
+        Hedge(
+            self.children(n)
+                .into_iter()
+                .map(|c| self.to_tree(c))
+                .collect(),
+        )
     }
 
     /// Rebuild the recursive tree rooted at `n`.

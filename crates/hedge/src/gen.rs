@@ -5,8 +5,7 @@
 //! are controlled here. Generators are deterministic given a seed, so bench
 //! workloads are reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hedgex_testkit::Rng;
 
 use crate::hedge::{Hedge, Tree};
 use crate::symbols::{SymId, VarId};
@@ -47,7 +46,7 @@ impl Default for GenConfig {
 #[derive(Debug)]
 pub struct HedgeGen {
     cfg: GenConfig,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl HedgeGen {
@@ -55,7 +54,7 @@ impl HedgeGen {
     pub fn new(cfg: GenConfig, seed: u64) -> Self {
         HedgeGen {
             cfg,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -77,7 +76,10 @@ impl HedgeGen {
             if self.cfg.num_vars > 0 && self.rng.random_bool(self.cfg.var_leaf_prob) {
                 Tree::Var(VarId(self.rng.random_range(0..self.cfg.num_vars)))
             } else {
-                Tree::Node(SymId(self.rng.random_range(0..self.cfg.num_syms)), Hedge::empty())
+                Tree::Node(
+                    SymId(self.rng.random_range(0..self.cfg.num_syms)),
+                    Hedge::empty(),
+                )
             }
         } else {
             let label = SymId(self.rng.random_range(0..self.cfg.num_syms));

@@ -1,11 +1,11 @@
 //! The recursive hedge representation (Definitions 1, 2, 9, 21).
 
-use serde::{Deserialize, Serialize};
+use hedgex_testkit::{FromJson, Json, ToJson};
 
 use crate::symbols::{SubId, SymId, VarId};
 
 /// One tree of a hedge.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Tree {
     /// `a⟨u⟩`: a Σ-labelled node over a (possibly empty) hedge.
     Node(SymId, Hedge),
@@ -18,8 +18,49 @@ pub enum Tree {
 }
 
 /// An ordered sequence of trees. `ε` is the empty vector.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Hedge(pub Vec<Tree>);
+
+impl ToJson for Tree {
+    /// Tagged-array encoding: `["n", sym, children]`, `["v", var]`,
+    /// `["z", sub]`.
+    fn to_json(&self) -> Json {
+        match self {
+            Tree::Node(a, h) => Json::Arr(vec![Json::Str("n".into()), a.to_json(), h.to_json()]),
+            Tree::Var(x) => Json::Arr(vec![Json::Str("v".into()), x.to_json()]),
+            Tree::Subst(z) => Json::Arr(vec![Json::Str("z".into()), z.to_json()]),
+        }
+    }
+}
+
+impl FromJson for Tree {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let items = j
+            .as_arr()
+            .ok_or_else(|| format!("expected tree array, got {j}"))?;
+        match (items.first().and_then(Json::as_str), items.len()) {
+            (Some("n"), 3) => Ok(Tree::Node(
+                SymId::from_json(&items[1])?,
+                Hedge::from_json(&items[2])?,
+            )),
+            (Some("v"), 2) => Ok(Tree::Var(VarId::from_json(&items[1])?)),
+            (Some("z"), 2) => Ok(Tree::Subst(SubId::from_json(&items[1])?)),
+            _ => Err(format!("bad tree encoding: {j}")),
+        }
+    }
+}
+
+impl ToJson for Hedge {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Hedge {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Vec::<Tree>::from_json(j).map(Hedge)
+    }
+}
 
 /// One letter of a ceil string (Definition 2): the top-level label of a tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -298,6 +339,20 @@ mod tests {
         assert!(!v.contains_sub(w));
         assert_eq!(v.count_sub(z), 2);
         assert_eq!(v.count_sub(w), 0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        let x = ab.var("x");
+        let z = ab.sub("z");
+        let h = Hedge::leaf(a).concat(Hedge::node(b, Hedge::var(x).concat(Hedge::sub_node(a, z))));
+        let json = h.to_json().to_string();
+        let back = Hedge::from_json(&hedgex_testkit::Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, h);
+        assert!(Hedge::from_json(&hedgex_testkit::Json::parse(r#"[["q",0]]"#).unwrap()).is_err());
     }
 
     #[test]

@@ -98,15 +98,14 @@ impl PointedHedge {
 /// Walk down the η path, emitting one base hedge per level (top-down).
 fn decompose_into(h: &Hedge, out: &mut Vec<PointedBaseHedge>) -> Result<(), PointedError> {
     // Locate the top-level tree containing η.
-    let idx = h
-        .0
-        .iter()
-        .position(|t| match t {
-            Tree::Subst(z) => *z == SubId::ETA,
-            Tree::Node(_, inner) => inner.contains_sub(SubId::ETA),
-            Tree::Var(_) => false,
-        })
-        .ok_or(PointedError::MissingEta)?;
+    let idx =
+        h.0.iter()
+            .position(|t| match t {
+                Tree::Subst(z) => *z == SubId::ETA,
+                Tree::Node(_, inner) => inner.contains_sub(SubId::ETA),
+                Tree::Var(_) => false,
+            })
+            .ok_or(PointedError::MissingEta)?;
     match &h.0[idx] {
         // η at the top level: not a product of base hedges.
         Tree::Subst(_) => Err(PointedError::NotDecomposable),
@@ -270,11 +269,19 @@ mod tests {
         let a = ab.get_sym("a").unwrap();
         assert_eq!(bases.len(), 2);
         assert_eq!(
-            (bases[0].elder.clone(), bases[0].label, bases[0].younger.clone()),
+            (
+                bases[0].elder.clone(),
+                bases[0].label,
+                bases[0].younger.clone()
+            ),
             (Hedge::empty(), a, parse_hedge("b", &mut ab).unwrap())
         );
         assert_eq!(
-            (bases[1].elder.clone(), bases[1].label, bases[1].younger.clone()),
+            (
+                bases[1].elder.clone(),
+                bases[1].label,
+                bases[1].younger.clone()
+            ),
             (parse_hedge("b", &mut ab).unwrap(), a, Hedge::empty())
         );
     }

@@ -5,20 +5,37 @@
 //! giving each its own id type, interned in a shared [`Alphabet`]. All ids
 //! are dense `u32`s so hedges stay small and automata can index by them.
 
-use serde::{Deserialize, Serialize};
+use hedgex_testkit::{FromJson, Json, ToJson};
 use std::collections::HashMap;
 
 /// A symbol of Σ: the label of an internal node `a⟨u⟩`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymId(pub u32);
 
 /// A variable of X: the label of a leaf node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 /// A substitution symbol of Z: the embedding target of Definitions 9–10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubId(pub u32);
+
+macro_rules! impl_id_json {
+    ($($t:ident),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                self.0.to_json()
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(j: &Json) -> Result<Self, String> {
+                u32::from_json(j).map($t)
+            }
+        }
+    )*};
+}
+
+impl_id_json!(SymId, VarId, SubId);
 
 impl SubId {
     /// The distinguished substitution symbol `η` of pointed hedges
@@ -47,17 +64,43 @@ impl std::fmt::Display for SubId {
 }
 
 /// Shared interner for the three name spaces.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Alphabet {
     syms: Vec<String>,
     vars: Vec<String>,
     subs: Vec<String>,
-    #[serde(skip)]
     sym_idx: HashMap<String, SymId>,
-    #[serde(skip)]
     var_idx: HashMap<String, VarId>,
-    #[serde(skip)]
     sub_idx: HashMap<String, SubId>,
+}
+
+impl ToJson for Alphabet {
+    /// Only the name tables go on the wire; the reverse indices are
+    /// recomputed on deserialization.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("syms", self.syms.to_json()),
+            ("vars", self.vars.to_json()),
+            ("subs", self.subs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Alphabet {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let field =
+            |k: &str| Vec::<String>::from_json(j.get(k).ok_or_else(|| format!("missing '{k}'"))?);
+        let mut ab = Alphabet {
+            syms: field("syms")?,
+            vars: field("vars")?,
+            subs: field("subs")?,
+            sym_idx: HashMap::new(),
+            var_idx: HashMap::new(),
+            sub_idx: HashMap::new(),
+        };
+        ab.rebuild_index();
+        Ok(ab)
+    }
 }
 
 impl Alphabet {
@@ -243,15 +286,27 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_index_restores_lookup() {
+    fn json_roundtrip_restores_lookup() {
         let mut ab = Alphabet::new();
         ab.sym("a");
         ab.var("x");
-        let json = serde_json::to_string(&ab).unwrap();
-        let mut back: Alphabet = serde_json::from_str(&json).unwrap();
-        assert!(back.get_sym("a").is_none()); // index skipped on the wire
-        back.rebuild_index();
+        ab.sub("z");
+        let json = ab.to_json().to_string();
+        let back = Alphabet::from_json(&Json::parse(&json).unwrap()).unwrap();
+        // The reverse indices are not on the wire; from_json rebuilds them.
         assert_eq!(back.get_sym("a"), Some(SymId(0)));
         assert_eq!(back.get_var("x"), Some(VarId(0)));
+        assert_eq!(back.get_sub("z"), Some(SubId(0)));
+        assert_eq!(back.sym_name(SymId(0)), "a");
+    }
+
+    #[test]
+    fn json_shape_is_three_name_tables() {
+        let mut ab = Alphabet::new();
+        ab.sym("section");
+        assert_eq!(
+            ab.to_json().to_string(),
+            r#"{"syms":["section"],"vars":[],"subs":[]}"#
+        );
     }
 }

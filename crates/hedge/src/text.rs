@@ -217,12 +217,7 @@ mod tests {
     #[test]
     fn print_roundtrip() {
         let mut ab = Alphabet::new();
-        for src in [
-            "a",
-            "a b c",
-            "d<p<$x> p<$y>> d<p<$x>>",
-            "a<%z> b<%η c<$x>>",
-        ] {
+        for src in ["a", "a b c", "d<p<$x> p<$y>> d<p<$x>>", "a<%z> b<%η c<$x>>"] {
             let h = parse_hedge(src, &mut ab).unwrap();
             let printed = print_hedge(&h, &ab);
             let back = parse_hedge(&printed, &mut ab).unwrap();

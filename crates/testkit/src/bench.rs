@@ -1,0 +1,344 @@
+//! A wall-clock benchmark harness.
+//!
+//! Replaces `criterion` for this workspace with a deliberately small
+//! median-of-N design: per benchmark, a warmup pass, then `sample_size`
+//! timed samples; the report records median/min/max nanoseconds and
+//! optional element throughput. The public API mirrors the subset of
+//! criterion the bench targets used (`benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `iter_with_setup`, `BenchmarkId`), so the targets port 1:1 and keep
+//! `harness = false`.
+//!
+//! Each finished group prints a table and writes
+//! `target/bench-reports/BENCH_<group>.json` (override the directory with
+//! `HEDGEX_BENCH_OUT`). Under `cargo test` (the libtest `--test` flag)
+//! benches are skipped so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Top-level harness; create once per bench binary via [`Bench::from_env`].
+pub struct Bench {
+    test_mode: bool,
+    out_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::from_env()
+    }
+}
+
+impl Bench {
+    /// Configure from CLI args (`--test` skips measurement) and the
+    /// `HEDGEX_BENCH_OUT` environment variable.
+    pub fn from_env() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let out_dir = std::env::var_os("HEDGEX_BENCH_OUT")
+            .map(std::path::PathBuf::from)
+            .or_else(|| Some(std::path::PathBuf::from("target/bench-reports")));
+        Bench { test_mode, out_dir }
+    }
+
+    /// Start a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup {
+            bench: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Throughput annotation for the next benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (e.g. hedge nodes).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter` style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: &str, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+struct BenchResult {
+    id: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// A group of benchmarks sharing a name, sample size, and report file.
+pub struct BenchGroup<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup<'_> {
+    /// Samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().0;
+        if self.bench.test_mode {
+            println!("skipping bench {}/{id} (test mode)", self.name);
+            return self;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.record(id, b.samples);
+        self
+    }
+
+    /// Measure a closure over a fixed input (criterion-compatible shape).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(BenchmarkId(id.0), |b| f(b, input))
+    }
+
+    fn record(&mut self, id: String, mut samples: Vec<Duration>) {
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort();
+        let ns = |d: &Duration| d.as_nanos();
+        let median = ns(&samples[samples.len() / 2]);
+        let result = BenchResult {
+            id,
+            median_ns: median,
+            min_ns: ns(&samples[0]),
+            max_ns: ns(samples.last().unwrap()),
+            samples: samples.len(),
+            throughput: self.throughput,
+        };
+        let thr = match result.throughput {
+            Some(Throughput::Elements(n)) if median > 0 => {
+                format!("{:>14.0} elem/s", n as f64 / (median as f64 / 1e9))
+            }
+            Some(Throughput::Bytes(n)) if median > 0 => {
+                format!("{:>14.0} B/s", n as f64 / (median as f64 / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<40} median {:>12} min {:>12} max {:>12} {}",
+            format!("{}/{}", self.name, result.id),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            thr
+        );
+        self.results.push(result);
+    }
+
+    /// Print nothing further; write the group's JSON report.
+    pub fn finish(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let benches: Vec<Json> = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("id", Json::Str(r.id.clone())),
+                    ("median_ns", Json::Num(r.median_ns as f64)),
+                    ("min_ns", Json::Num(r.min_ns as f64)),
+                    ("max_ns", Json::Num(r.max_ns as f64)),
+                    ("samples", Json::Num(r.samples as f64)),
+                    (
+                        "throughput_elements",
+                        match r.throughput {
+                            Some(Throughput::Elements(n)) => Json::Num(n as f64),
+                            _ => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let report = Json::obj([
+            ("group", Json::Str(self.name.clone())),
+            ("benchmarks", Json::Arr(benches)),
+        ]);
+        if let Some(dir) = &self.bench.out_dir {
+            let path = dir.join(format!("BENCH_{}.json", self.name));
+            if std::fs::create_dir_all(dir).is_ok() {
+                if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("report: {}", path.display());
+                }
+            }
+        }
+        self.results.clear();
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` once per sample, after one untimed warmup call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `f` on a fresh `setup()` value per sample (setup untimed).
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> O,
+    ) {
+        std::hint::black_box(f(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_bench() -> Bench {
+        Bench {
+            test_mode: false,
+            out_dir: None,
+        }
+    }
+
+    #[test]
+    fn records_requested_sample_count() {
+        let mut c = quiet_bench();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(g.results.len(), 1);
+        assert_eq!(g.results[0].samples, 5);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup_from_timing() {
+        let mut c = quiet_bench();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![0u8; 16], |v| v.len())
+        });
+        assert_eq!(g.results[0].samples, 3);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("adversarial", 4).0, "adversarial/4");
+        assert_eq!(BenchmarkId::from_parameter(16_000).0, "16000");
+    }
+
+    #[test]
+    fn test_mode_skips_measurement() {
+        let mut c = Bench {
+            test_mode: true,
+            out_dir: None,
+        };
+        let mut g = c.benchmark_group("unit");
+        g.bench_function("never", |_| panic!("must not run in test mode"));
+        assert!(g.results.is_empty());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let dir = std::env::temp_dir().join("hedgex-testkit-bench-test");
+        let mut c = Bench {
+            test_mode: false,
+            out_dir: Some(dir.clone()),
+        };
+        let mut g = c.benchmark_group("shape");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| b.iter(|| 0));
+        g.finish();
+        let raw = std::fs::read_to_string(dir.join("BENCH_shape.json")).unwrap();
+        let j = Json::parse(&raw).unwrap();
+        assert_eq!(j.get("group").and_then(Json::as_str), Some("shape"));
+        let benches = j.get("benchmarks").and_then(Json::as_arr).unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("id").and_then(Json::as_str), Some("f"));
+        assert!(benches[0].get("median_ns").and_then(Json::as_u64).is_some());
+        assert_eq!(
+            benches[0].get("throughput_elements").and_then(Json::as_u64),
+            Some(10)
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

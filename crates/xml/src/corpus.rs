@@ -7,8 +7,7 @@
 //! deterministic, so every benchmark run sees identical documents.
 
 use hedgex_hedge::{Alphabet, Hedge, SymId, Tree, VarId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hedgex_testkit::Rng;
 
 /// Element names used by the DocBook-flavoured generator, in interning
 /// order: `article`, `section`, `title`, `para`, `figure`, `caption`,
@@ -71,7 +70,7 @@ pub fn docbook(cfg: &DocbookConfig, seed: u64, ab: &mut Alphabet) -> Hedge {
         note: ab.sym(DOCBOOK_SYMS[7]),
         text: ab.var(crate::TEXT_VAR),
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut budget = cfg.target_nodes as isize;
     let mut sections = Vec::new();
     sections.push(title(&ids, &mut budget));
@@ -86,7 +85,13 @@ fn title(ids: &Ids, budget: &mut isize) -> Tree {
     Tree::Node(ids.title, Hedge(vec![Tree::Var(ids.text)]))
 }
 
-fn section(ids: &Ids, cfg: &DocbookConfig, rng: &mut StdRng, depth: usize, budget: &mut isize) -> Tree {
+fn section(
+    ids: &Ids,
+    cfg: &DocbookConfig,
+    rng: &mut Rng,
+    depth: usize,
+    budget: &mut isize,
+) -> Tree {
     *budget -= 1;
     let mut body = vec![title(ids, budget)];
     let fanout = rng.random_range(1..=cfg.max_fanout);
@@ -103,7 +108,7 @@ fn section(ids: &Ids, cfg: &DocbookConfig, rng: &mut StdRng, depth: usize, budge
     Tree::Node(ids.section, Hedge(body))
 }
 
-fn block(ids: &Ids, rng: &mut StdRng, budget: &mut isize) -> Tree {
+fn block(ids: &Ids, rng: &mut Rng, budget: &mut isize) -> Tree {
     match rng.random_range(0..6u32) {
         0..=2 => {
             *budget -= 2;

@@ -72,10 +72,7 @@ pub fn to_hedge(nodes: &[XmlNode], ab: &mut Alphabet, cfg: HedgeConfig) -> Hedge
                 if cfg.keep_attrs {
                     for (k, _) in attrs {
                         let asym = ab.sym(&format!("attr:{k}"));
-                        content.push(Tree::Node(
-                            asym,
-                            Hedge(vec![Tree::Var(ab.var(TEXT_VAR))]),
-                        ));
+                        content.push(Tree::Node(asym, Hedge(vec![Tree::Var(ab.var(TEXT_VAR))])));
                     }
                 }
                 content.extend(to_hedge(children, ab, cfg).0);

@@ -325,17 +325,17 @@ mod tests {
         let doc = parse_xml("<a><b/><c><d/></c></a>").unwrap();
         assert_eq!(
             doc,
-            vec![el("a", vec![el("b", vec![]), el("c", vec![el("d", vec![])])])]
+            vec![el(
+                "a",
+                vec![el("b", vec![]), el("c", vec![el("d", vec![])])]
+            )]
         );
     }
 
     #[test]
     fn text_and_entities() {
         let doc = parse_xml("<p>a &lt;b&gt; &amp; &#65;&#x42;</p>").unwrap();
-        assert_eq!(
-            doc,
-            vec![el("p", vec![XmlNode::Text("a <b> & AB".into())])]
-        );
+        assert_eq!(doc, vec![el("p", vec![XmlNode::Text("a <b> & AB".into())])]);
     }
 
     #[test]
@@ -385,7 +385,11 @@ mod tests {
     #[test]
     fn error_positions_are_byte_offsets() {
         let e = parse_xml("<a></b>").unwrap_err();
-        assert!(e.pos >= 3, "position {} should be at the closing tag", e.pos);
+        assert!(
+            e.pos >= 3,
+            "position {} should be at the closing tag",
+            e.pos
+        );
         assert!(e.to_string().contains("mismatched"));
     }
 }

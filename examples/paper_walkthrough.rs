@@ -35,7 +35,10 @@ fn main() {
             .map(|&q| hedgex::ha::paper::M0_STATES[q as usize])
             .collect::<Vec<_>>()
     );
-    println!("ceil of computation in F = q_d* → accepted: {}", auto0.accepts(&h));
+    println!(
+        "ceil of computation in F = q_d* → accepted: {}",
+        auto0.accepts(&h)
+    );
     assert!(auto0.accepts(&h));
 
     println!("\n== Section 3: the non-deterministic automaton M1 ==");

@@ -34,11 +34,7 @@ fn main() {
     let hits = compiled.locate(&flat);
     println!("located {} node(s):", hits.len());
     for n in &hits {
-        println!(
-            "  node {} at Dewey address {:?}",
-            n,
-            flat.dewey(*n)
-        );
+        println!("  node {} at Dewey address {:?}", n, flat.dewey(*n));
     }
 
     // 5. The declarative evaluator (Definition 22, quadratic) agrees.

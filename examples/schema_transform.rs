@@ -73,10 +73,18 @@ fn main() {
     println!("\noutput schema membership:");
     for (desc, src, expect) in [
         ("a figure with empty caption", "figure<caption>", true),
-        ("a figure with caption text", "figure<caption<$#text>>", true),
+        (
+            "a figure with caption text",
+            "figure<caption<$#text>>",
+            true,
+        ),
         ("a bare caption", "caption", false),
         ("a section", "section", false),
-        ("a figure with two captions", "figure<caption caption>", false),
+        (
+            "a figure with two captions",
+            "figure<caption caption>",
+            false,
+        ),
         ("a para", "para<$#text>", false),
     ] {
         let t = parse_hedge(src, &mut ab).unwrap();

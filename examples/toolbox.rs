@@ -22,13 +22,22 @@ fn main() {
     println!("== Language algebra on hedge automata ==");
     // L1: sequences of a⟨b*⟩; L2: hedges with at most 2 top-level trees.
     let l1 = compile_to_dha(&parse_hre("a<b*>*", &mut ab).unwrap());
-    let l2 = compile_to_dha(&parse_hre("(a<(a<%z>|b<%z>)*^z>|b<(a<%z>|b<%z>)*^z>)? \
-                                        (a<(a<%z>|b<%z>)*^z>|b<(a<%z>|b<%z>)*^z>)?", &mut ab).unwrap());
+    let l2 = compile_to_dha(
+        &parse_hre(
+            "(a<(a<%z>|b<%z>)*^z>|b<(a<%z>|b<%z>)*^z>)? \
+                                        (a<(a<%z>|b<%z>)*^z>|b<(a<%z>|b<%z>)*^z>)?",
+            &mut ab,
+        )
+        .unwrap(),
+    );
     let both = intersection(&l1, &l2);
     let h = parse_hedge("a<b> a<b b>", &mut ab).unwrap();
     println!("a<b> a<b b> ∈ L1∩L2: {}", both.accepts(&h));
     let h3 = parse_hedge("a a a", &mut ab).unwrap();
-    println!("a a a       ∈ L1∩L2: {} (three roots breaks L2)", both.accepts(&h3));
+    println!(
+        "a a a       ∈ L1∩L2: {} (three roots breaks L2)",
+        both.accepts(&h3)
+    );
 
     // Inclusion with counterexamples.
     match included(&both, &l1) {
@@ -47,14 +56,17 @@ fn main() {
     let lhs = complement(&intersection(&l1, &l2));
     let rhs = hedgex::ha::ops::union(&complement(&l1), &complement(&l2));
     println!("¬(L1∩L2) = ¬L1 ∪ ¬L2: {}", equivalent(&lhs, &rhs).is_ok());
-    println!("L1 \\ L1 is empty: {}", hedgex::ha::analysis::is_empty(&difference(&l1, &l1)));
+    println!(
+        "L1 \\ L1 is empty: {}",
+        hedgex::ha::analysis::is_empty(&difference(&l1, &l1))
+    );
 
     println!("\n== Minimization ==");
     // A hand-built automaton with interchangeable states (two variables
     // playing identical roles).
     let m = {
-        use hedgex_automata::Regex;
         use hedgex::ha::{DhaBuilder, Leaf};
+        use hedgex_automata::Regex;
         let a = ab.sym("a");
         let x = ab.var("x");
         let y = ab.var("y");
@@ -74,14 +86,7 @@ fn main() {
     );
 
     println!("\n== Unambiguity (Section 9 future work) ==");
-    for src in [
-        "a b c",
-        "(a|b)*",
-        "a? a?",
-        "a* a*",
-        "a<b|b c?>",
-        "a<%z>*^z",
-    ] {
+    for src in ["a b c", "(a|b)*", "a? a?", "a* a*", "a<b|b c?>", "a<%z>*^z"] {
         let e = hedgex::core::parse_hre(src, &mut ab).unwrap();
         println!(
             "  {:12} {}",

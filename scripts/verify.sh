@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: hermetic build + tests + formatting.
+#
+# The workspace has zero external dependencies, so everything must pass
+# with --offline and an empty registry cache. Run from the repo root:
+#
+#   scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "verify: OK"

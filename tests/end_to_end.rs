@@ -9,10 +9,7 @@ use hedgex_bench::{doc_workload, figure_before_table_phr, figure_path};
 #[test]
 fn xml_to_query_roundtrip() {
     let mut ab = Alphabet::new();
-    let xml = parse_xml(
-        "<r><a><b/><c/></a><a><c/></a><b><a><b/></a></b></r>",
-    )
-    .unwrap();
+    let xml = parse_xml("<r><a><b/><c/></a><a><c/></a><b><a><b/></a></b></r>").unwrap();
     let h = to_hedge(&xml, &mut ab, HedgeConfig::default());
     let flat = FlatHedge::from_hedge(&h);
 

@@ -1,0 +1,399 @@
+//! Property-based tests on the core data structures and the paper's
+//! invariants, with randomly generated hedges and expressions.
+//!
+//! Runs on `hedgex-testkit`'s shrinking `forall` runner: every failure
+//! prints a `HEDGEX_SEED=<n>` line; re-running with that variable replays
+//! the exact counterexample (then shrinks it again deterministically).
+
+use std::rc::Rc;
+
+use hedgex::core::mark_down::{compile_to_dha, mark_run};
+use hedgex::core::{compile_hre, CompiledPhr, Hre};
+use hedgex::hedge::{Hedge, PointedBaseHedge, PointedHedge, SubId, SymId, Tree, VarId};
+use hedgex::prelude::*;
+use hedgex_testkit::prop::shrink_vec;
+use hedgex_testkit::{forall, prop_assert, prop_assert_eq, zip2, zip3, Config, Gen, Rng};
+
+// ---------------------------------------------------------------------------
+// Generators + shrinkers
+// ---------------------------------------------------------------------------
+
+/// A random tree over 3 symbols and 2 variables, with bounded depth/width.
+fn gen_tree(rng: &mut Rng, depth: usize) -> Tree {
+    if depth == 0 || rng.random_bool(0.35) {
+        if rng.random_bool(0.4) {
+            Tree::Var(VarId(rng.random_range(0..2u32)))
+        } else {
+            Tree::Node(SymId(rng.random_range(0..3u32)), Hedge::empty())
+        }
+    } else {
+        let label = SymId(rng.random_range(0..3u32));
+        let width = rng.random_range(0..4usize);
+        Tree::Node(
+            label,
+            Hedge((0..width).map(|_| gen_tree(rng, depth - 1)).collect()),
+        )
+    }
+}
+
+/// Shrink a tree: hoist children, drop/shrink children, simplify leaves.
+fn shrink_tree(t: &Tree) -> Vec<Tree> {
+    match t {
+        Tree::Node(a, h) => {
+            let mut out: Vec<Tree> = h.0.clone();
+            out.extend(
+                shrink_vec(&h.0, shrink_tree)
+                    .into_iter()
+                    .map(|trees| Tree::Node(*a, Hedge(trees))),
+            );
+            out
+        }
+        Tree::Var(_) => vec![Tree::Node(SymId(0), Hedge::empty())],
+        Tree::Subst(_) => vec![],
+    }
+}
+
+fn shrink_hedge(h: &Hedge) -> Vec<Hedge> {
+    shrink_vec(&h.0, shrink_tree)
+        .into_iter()
+        .map(Hedge)
+        .collect()
+}
+
+fn arb_hedge() -> Gen<Hedge> {
+    Gen::new(|rng| {
+        let width = rng.random_range(0..4usize);
+        Hedge((0..width).map(|_| gen_tree(rng, 3)).collect())
+    })
+    .with_shrink(shrink_hedge)
+}
+
+/// A random HRE over the same alphabet (no substitution operators — those
+/// are covered by targeted exhaustive tests; here we stress the horizontal
+/// algebra and nesting).
+fn gen_hre(rng: &mut Rng, depth: usize) -> Hre {
+    if depth == 0 || rng.random_bool(0.35) {
+        return match rng.random_range(0..3u32) {
+            0 => Hre::Epsilon,
+            1 => Hre::leaf(SymId(rng.random_range(0..3u32))),
+            _ => Hre::Var(VarId(rng.random_range(0..2u32))),
+        };
+    }
+    match rng.random_range(0..4u32) {
+        0 => gen_hre(rng, depth - 1).concat(gen_hre(rng, depth - 1)),
+        1 => gen_hre(rng, depth - 1).alt(gen_hre(rng, depth - 1)),
+        2 => gen_hre(rng, depth - 1).star(),
+        _ => Hre::node(SymId(rng.random_range(0..3u32)), gen_hre(rng, depth - 1)),
+    }
+}
+
+/// Shrink an HRE toward its subexpressions and ε.
+fn shrink_hre(e: &Hre) -> Vec<Hre> {
+    match e {
+        Hre::Empty | Hre::Epsilon => vec![],
+        Hre::Var(_) => vec![Hre::Epsilon],
+        Hre::Node(a, inner) => {
+            let mut out = vec![Hre::Epsilon, (**inner).clone()];
+            out.extend(
+                shrink_hre(inner)
+                    .into_iter()
+                    .map(|i| Hre::Node(*a, Rc::new(i))),
+            );
+            out
+        }
+        Hre::Concat(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            out.extend(shrink_hre(a).into_iter().map(|a2| a2.concat((**b).clone())));
+            out.extend(shrink_hre(b).into_iter().map(|b2| (**a).clone().concat(b2)));
+            out
+        }
+        Hre::Alt(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            out.extend(shrink_hre(a).into_iter().map(|a2| a2.alt((**b).clone())));
+            out.extend(shrink_hre(b).into_iter().map(|b2| (**a).clone().alt(b2)));
+            out
+        }
+        Hre::Star(a) => {
+            let mut out = vec![Hre::Epsilon, (**a).clone()];
+            out.extend(shrink_hre(a).into_iter().map(Hre::star));
+            out
+        }
+        // Not generated here; shrink to the simplest language anyway.
+        Hre::SubNode(_, _) | Hre::Embed(_, _, _) | Hre::Iter(_, _) => vec![Hre::Epsilon],
+    }
+}
+
+fn arb_hre() -> Gen<Hre> {
+    Gen::new(|rng| gen_hre(rng, 3)).with_shrink(shrink_hre)
+}
+
+// ---------------------------------------------------------------------------
+// Data-structure invariants
+// ---------------------------------------------------------------------------
+
+/// Flattening and rebuilding a hedge is the identity.
+#[test]
+fn flat_roundtrip() {
+    forall(
+        "flat_roundtrip",
+        Config::with_cases(64),
+        &arb_hedge(),
+        |h| {
+            let f = FlatHedge::from_hedge(h);
+            prop_assert_eq!(&f.to_hedge(), h);
+            Ok(())
+        },
+    );
+}
+
+/// Dewey addresses are unique and resolvable.
+#[test]
+fn dewey_bijective() {
+    forall(
+        "dewey_bijective",
+        Config::with_cases(64),
+        &arb_hedge(),
+        |h| {
+            let f = FlatHedge::from_hedge(h);
+            let mut seen = std::collections::HashSet::new();
+            for n in f.preorder() {
+                let d = f.dewey(n);
+                prop_assert!(seen.insert(d.clone()));
+                prop_assert_eq!(f.by_dewey(&d), Some(n));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// subhedge + envelope reassemble the original hedge (Definition 21).
+#[test]
+fn envelope_fill_inverts() {
+    forall(
+        "envelope_fill_inverts",
+        Config::with_cases(64),
+        &arb_hedge(),
+        |h| {
+            let f = FlatHedge::from_hedge(h);
+            for n in f.preorder() {
+                if !matches!(f.label(n), hedgex::hedge::flat::FlatLabel::Sym(_)) {
+                    continue;
+                }
+                let env = PointedHedge::new(f.envelope(n)).unwrap();
+                let filled = env.fill(&f.subhedge(n));
+                prop_assert_eq!(&filled, h);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Pointed-hedge decomposition and composition are mutually inverse, and
+/// the decomposition length equals the node's depth.
+#[test]
+fn decompose_compose_inverse() {
+    forall(
+        "decompose_compose_inverse",
+        Config::with_cases(64),
+        &arb_hedge(),
+        |h| {
+            let f = FlatHedge::from_hedge(h);
+            for n in f.preorder() {
+                if !matches!(f.label(n), hedgex::hedge::flat::FlatLabel::Sym(_)) {
+                    continue;
+                }
+                let env = PointedHedge::new(f.envelope(n)).unwrap();
+                let bases = env.decompose().unwrap();
+                prop_assert_eq!(bases.len(), f.node_depth(n));
+                let back = PointedBaseHedge::compose(&bases).unwrap();
+                prop_assert_eq!(back, env);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The product of pointed hedges is associative.
+#[test]
+fn pointed_product_associative() {
+    forall(
+        "pointed_product_associative",
+        Config::with_cases(64),
+        &zip3(arb_hedge(), arb_hedge(), arb_hedge()),
+        |(a, b, c)| {
+            // Turn each hedge into a pointed hedge by appending x⟨η⟩.
+            let point = |h: &Hedge| {
+                let mut trees = h.0.clone();
+                trees.push(Tree::Node(SymId(0), Hedge(vec![Tree::Subst(SubId::ETA)])));
+                PointedHedge::new(Hedge(trees)).unwrap()
+            };
+            let (pa, pb, pc) = (point(a), point(b), point(c));
+            prop_assert_eq!(pa.product(&pb).product(&pc), pa.product(&pb.product(&pc)));
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Theorem-level properties
+// ---------------------------------------------------------------------------
+
+/// Lemma 1: the compiled automaton agrees with the declarative matcher on
+/// random expression/hedge pairs.
+#[test]
+fn compile_agrees_with_spec() {
+    forall(
+        "compile_agrees_with_spec",
+        Config::with_cases(64),
+        &zip2(arb_hre(), arb_hedge()),
+        |(e, h)| {
+            let nha = compile_hre(e);
+            prop_assert_eq!(nha.accepts(h), e.matches(h));
+            Ok(())
+        },
+    );
+}
+
+/// Theorem 1 on compiled expressions: determinization preserves
+/// membership. 500 generated hedges (ISSUE 2 satellite).
+#[test]
+fn determinize_preserves_membership() {
+    forall(
+        "determinize_preserves_membership",
+        Config::with_cases(500),
+        &zip2(arb_hre(), arb_hedge()),
+        |(e, h)| {
+            let nha = compile_hre(e);
+            let det = hedgex::ha::determinize(&nha);
+            prop_assert_eq!(det.dha.accepts(h), nha.accepts(h));
+            Ok(())
+        },
+    );
+}
+
+/// Theorem 2 round trip: `decompile(compile(e))` denotes the same language
+/// as `e`, checked per case on a freshly generated sample hedge plus the
+/// subexpression-rich shrunk forms (ISSUE 2 satellite).
+#[test]
+fn decompile_compile_roundtrip() {
+    forall(
+        "decompile_compile_roundtrip",
+        Config::with_cases(48),
+        &zip2(arb_hre(), arb_hedge()),
+        |(e, h)| {
+            let dha = compile_to_dha(e);
+            let mut ab = Alphabet::new();
+            for s in ["s0", "s1", "s2"] {
+                ab.sym(s);
+            }
+            for v in ["v0", "v1"] {
+                ab.var(v);
+            }
+            let back = compile_to_dha(&hedgex::core::decompile_dha(&dha, &mut ab));
+            prop_assert_eq!(
+                back.accepts(h),
+                e.matches(h),
+                "decompiled HRE disagrees on {h:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Theorem 3: marking equals per-node declarative membership.
+#[test]
+fn marks_equal_spec() {
+    forall(
+        "marks_equal_spec",
+        Config::with_cases(64),
+        &zip2(arb_hre(), arb_hedge()),
+        |(e, h)| {
+            let dha = compile_to_dha(e);
+            let f = FlatHedge::from_hedge(h);
+            let marks = mark_run(&dha, &f);
+            for n in f.preorder() {
+                let expect = matches!(f.label(n), hedgex::hedge::flat::FlatLabel::Sym(_))
+                    && e.matches(&f.subhedge(n));
+                prop_assert_eq!(marks[n as usize], expect);
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator oracles
+// ---------------------------------------------------------------------------
+
+/// The standard library of representative PHRs over {s0, s1, s2, v0, v1}.
+fn phr_library(which: usize, ab: &mut Alphabet) -> hedgex::core::phr::Phr {
+    ab.sym("s0");
+    ab.sym("s1");
+    ab.sym("s2");
+    ab.var("v0");
+    ab.var("v1");
+    let u = "(s0<%z>|s1<%z>|s2<%z>|$v0|$v1)*^z";
+    let srcs = [
+        format!("[{u} ; s0 ; {u}]"),
+        format!("[{u} ; s1 ; s0<%z>*^z ({u})]([{u} ; s0 ; {u}])*"),
+        format!("([{u} ; s0 ; {u}]|[{u} ; s1 ; {u}])+"),
+        format!("[ε ; s2 ; {u}][{u} ; s0 ; ε]"),
+    ];
+    parse_phr(&srcs[which % srcs.len()], ab).unwrap()
+}
+
+fn arb_phr_pick() -> Gen<usize> {
+    Gen::new(|rng| rng.random_range(0..4usize)).with_shrink(|&n| (0..n).collect())
+}
+
+/// Algorithm 1 equals the declarative PHR evaluator on random hedges for a
+/// fixed library of representative PHRs.
+#[test]
+fn two_pass_equals_naive() {
+    forall(
+        "two_pass_equals_naive",
+        Config::with_cases(24),
+        &zip2(arb_hedge(), arb_phr_pick()),
+        |(h, which)| {
+            let mut ab = Alphabet::new();
+            let phr = phr_library(*which, &mut ab);
+            let compiled = CompiledPhr::compile(&phr);
+            let f = FlatHedge::from_hedge(h);
+            prop_assert_eq!(
+                hedgex::core::two_pass::locate(&compiled, &f),
+                phr.locate_naive(&f)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Oracle: the two baseline evaluators from `hedgex-baseline` (quadratic
+/// per-node and fully interpretive) agree with Algorithm 1 on random
+/// hedges + PHRs (ISSUE 2 satellite).
+#[test]
+fn two_pass_equals_baselines() {
+    forall(
+        "two_pass_equals_baselines",
+        Config::with_cases(24),
+        &zip2(arb_hedge(), arb_phr_pick()),
+        |(h, which)| {
+            let mut ab = Alphabet::new();
+            let phr = phr_library(*which, &mut ab);
+            let compiled = CompiledPhr::compile(&phr);
+            let f = FlatHedge::from_hedge(h);
+            let fast = hedgex::core::two_pass::locate(&compiled, &f);
+            prop_assert_eq!(
+                &fast,
+                &hedgex::baseline::quadratic_locate_phr(&compiled, &f),
+                "quadratic baseline disagrees"
+            );
+            prop_assert_eq!(
+                &fast,
+                &hedgex::baseline::interpretive_locate_phr(&phr, &f),
+                "interpretive baseline disagrees"
+            );
+            Ok(())
+        },
+    );
+}

@@ -1,10 +1,14 @@
 //! Theorem-level integration tests: each of the paper's five theorems
-//! checked across crates on randomized and exhaustive inputs.
+//! checked across crates on randomized and exhaustive inputs, plus the
+//! paper's worked examples (Section 3's M₀/M₁, Figures 1–2, Section 6's
+//! select) and the DocBook mini-experiment as deterministic unit tests.
 
 use hedgex::core::mark_down::{compile_to_dha, mark_run, MarkDown};
 use hedgex::core::mark_up::MarkUp;
 use hedgex::ha::enumerate::enumerate_hedges;
+use hedgex::ha::paper::{m0, m1};
 use hedgex::ha::{determinize, Leaf, NhaBuilder};
+use hedgex::hedge::{PointedBaseHedge, PointedHedge};
 use hedgex::prelude::*;
 use hedgex_automata::Regex;
 
@@ -58,10 +62,8 @@ fn theorem_3_marking_on_corpus() {
     let explicit = md.marks(&w.doc);
     assert!(md.dha.accepts_flat(&w.doc));
     for n in w.doc.preorder() {
-        let expected = matches!(
-            w.doc.label(n),
-            hedgex::hedge::flat::FlatLabel::Sym(_)
-        ) && e.matches(&w.doc.subhedge(n));
+        let expected = matches!(w.doc.label(n), hedgex::hedge::flat::FlatLabel::Sym(_))
+            && e.matches(&w.doc.subhedge(n));
         assert_eq!(run[n as usize], expected, "mark_run at node {n}");
         assert_eq!(explicit[n as usize], expected, "M↓e at node {n}");
     }
@@ -99,6 +101,110 @@ fn theorem_5_match_identification() {
             mu.locate(&f),
             hedgex::core::two_pass::locate(&compiled, &f),
             "marks on {h:?}"
+        );
+    }
+}
+
+/// Section 3 worked examples: the deterministic automaton M₀ and the
+/// non-deterministic M₁ on the paper's hedges, as a pinned accept/reject
+/// matrix.
+#[test]
+fn section_3_worked_examples() {
+    let mut ab = Alphabet::new();
+    let a0 = m0(&mut ab);
+    let a1 = m1(&mut ab);
+    // (hedge, M0 accepts, M1 accepts)
+    let matrix = [
+        ("d<p<$x> p<$y>> d<p<$x>>", true, false),
+        ("d<p<$x> p<$y>>", true, false),
+        ("d<p<$x $x> p<$x $x>>", false, true),
+        ("d<p<$x>>", true, true),
+        ("d<p<$y>>", false, false),
+        ("p<$x>", false, false),
+        ("", true, true),
+    ];
+    for (src, in0, in1) in matrix {
+        let h = parse_hedge(src, &mut ab).unwrap();
+        assert_eq!(a0.accepts(&h), in0, "M0 on {src:?}");
+        assert_eq!(a1.accepts(&h), in1, "M1 on {src:?}");
+    }
+}
+
+/// Figure 1: the product of pointed hedges replaces η in the outer operand
+/// with the inner one, and filling distributes through the product.
+#[test]
+fn figure_1_pointed_product() {
+    let mut ab = Alphabet::new();
+    let u = PointedHedge::new(parse_hedge("a<$x> b<%η>", &mut ab).unwrap()).unwrap();
+    let v = PointedHedge::new(parse_hedge("a<$x> b<c<%η> $y>", &mut ab).unwrap()).unwrap();
+    let prod = u.product(&v);
+    let expected = parse_hedge("a<$x> b<c<a<$x> b<%η>> $y>", &mut ab).unwrap();
+    assert_eq!(prod.hedge(), &expected);
+    // Definition 14 semantics: (u ⊕ v)[η := w] = v[η := u[η := w]].
+    let w = parse_hedge("c", &mut ab).unwrap();
+    assert_eq!(prod.fill(&w), v.fill(&u.fill(&w)));
+}
+
+/// Figure 2: the unique decomposition of a pointed hedge into pointed base
+/// hedges, innermost first, and its recomposition.
+#[test]
+fn figure_2_pointed_decomposition() {
+    let mut ab = Alphabet::new();
+    let v = PointedHedge::new(parse_hedge("a<$x> b<c<%η> $y>", &mut ab).unwrap()).unwrap();
+    let bases = v.decompose().unwrap();
+    assert_eq!(bases.len(), 2);
+    // Innermost base: (ε ; c ; $y) — η sits directly under c, with $y as
+    // the younger sibling hedge.
+    assert_eq!(bases[0].elder, parse_hedge("", &mut ab).unwrap());
+    assert_eq!(ab.sym_name(bases[0].label), "c");
+    assert_eq!(bases[0].younger, parse_hedge("$y", &mut ab).unwrap());
+    // Outermost base: (a<$x> ; b ; ε).
+    assert_eq!(bases[1].elder, parse_hedge("a<$x>", &mut ab).unwrap());
+    assert_eq!(ab.sym_name(bases[1].label), "b");
+    assert_eq!(bases[1].younger, parse_hedge("", &mut ab).unwrap());
+    assert_eq!(PointedBaseHedge::compose(&bases).unwrap(), v);
+}
+
+/// Section 6 worked example: select((b|$x)*, [ε;a;b][b;a;ε]) on the
+/// paper's document locates exactly the first second-level node of the
+/// second top-level node.
+#[test]
+fn section_6_select_worked_example() {
+    let mut ab = Alphabet::new();
+    let query = SelectQuery {
+        subhedge: parse_hre("(b|$x)*", &mut ab).unwrap(),
+        envelope: parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap(),
+    };
+    let doc = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+    let flat = FlatHedge::from_hedge(&doc);
+    let hits = query.compile().locate(&flat);
+    assert_eq!(hits, vec![2]);
+    assert_eq!(flat.dewey(2), vec![2, 1]);
+}
+
+/// The DocBook mini-experiment (examples/docbook_figures.rs) pinned as a
+/// deterministic test: Algorithm 1 and the quadratic baseline agree on a
+/// seeded corpus, and the ancestor-only path expression finds only figure
+/// nodes.
+#[test]
+fn docbook_evaluators_agree() {
+    let mut w = hedgex_bench::doc_workload(800, 42);
+    let phr = hedgex_bench::figure_before_table_phr(&mut w.ab);
+    let compiled = CompiledPhr::compile(&phr);
+    let fast = two_pass::locate(&compiled, &w.doc);
+    assert_eq!(
+        fast,
+        hedgex::baseline::quadratic_locate_phr(&compiled, &w.doc)
+    );
+    let path = hedgex_bench::figure_path(&mut w.ab);
+    let hits = path.locate(&w.doc);
+    assert!(!hits.is_empty());
+    let figure = w.ab.sym("figure");
+    for n in &hits {
+        assert_eq!(
+            w.doc.label(*n),
+            hedgex::hedge::flat::FlatLabel::Sym(figure),
+            "path hit {n} must be a figure node"
         );
     }
 }

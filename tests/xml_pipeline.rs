@@ -37,10 +37,7 @@ fn attribute_folding_is_queryable() {
 #[test]
 fn entity_heavy_document_parses_and_queries() {
     let mut ab = Alphabet::new();
-    let xml = parse_xml(
-        "<a>&lt;tag&gt; &amp; <b>&#x48;&#105;</b><![CDATA[<raw>]]></a>",
-    )
-    .unwrap();
+    let xml = parse_xml("<a>&lt;tag&gt; &amp; <b>&#x48;&#105;</b><![CDATA[<raw>]]></a>").unwrap();
     let h = to_hedge(&xml, &mut ab, HedgeConfig::default());
     let flat = FlatHedge::from_hedge(&h);
     let p = parse_path("a b", &mut ab).unwrap();
