@@ -17,6 +17,7 @@ use hedgex_core::CompiledPhr;
 fn bench_two_pass(c: &mut Bench) {
     let mut group = c.benchmark_group("E5_two_pass_linear");
     group.sample_size(15);
+    hedgex_obs::reset();
     for &n in &[1_000usize, 4_000, 16_000, 64_000, 256_000] {
         let mut w = doc_workload(n, 0xE5);
         let phr = figure_before_table_phr(&mut w.ab);
@@ -26,6 +27,10 @@ fn bench_two_pass(c: &mut Bench) {
             b.iter(|| std::hint::black_box(two_pass::locate(&compiled, &w.doc).len()))
         });
     }
+    // Instrumentation snapshot (node counts, class sizes, span totals)
+    // rides along in the group report; `{"enabled": false}` when the obs
+    // feature is off.
+    group.attach_extra("obs_metrics", hedgex_obs::snapshot());
     group.finish();
 }
 

@@ -23,6 +23,7 @@ use hedgex_hedge::{parse_hedge, Alphabet};
 use hedgex_testkit::Json;
 
 fn main() {
+    hedgex_obs::reset();
     let report = Json::obj([
         ("e1_worked_examples", e1_worked_examples()),
         ("e2_determinization", e2_determinization()),
@@ -30,6 +31,9 @@ fn main() {
         ("e6_compile_sizes", e6_compile_sizes()),
         ("e7_schema", e7_schema()),
         ("e8_path_ablation", e8_path_ablation()),
+        // Everything the instrumentation saw while the experiments above
+        // ran: per-phase span totals, automaton-size counters, histograms.
+        ("obs_metrics", hedgex_obs::snapshot()),
     ]);
     let dir = std::env::var_os("HEDGEX_BENCH_OUT")
         .map(std::path::PathBuf::from)

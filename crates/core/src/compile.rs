@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use hedgex_automata::Nfa;
 use hedgex_ha::{HState, Leaf, Nha};
 use hedgex_hedge::{SubId, SymId};
+use hedgex_obs as obs;
 
 use crate::hre::Hre;
 
@@ -39,7 +40,24 @@ struct Frag {
 struct Ctx {
     next_state: HState,
     zbar: HashMap<SubId, HState>,
+    /// Tally per construction case (Lemma 1's cases 1–10), flushed to the
+    /// obs registry once per [`compile_hre`] call.
+    cases: [u64; 10],
 }
+
+/// Counter names matching `Ctx::cases`, in the paper's case order.
+const CASE_NAMES: [&str; 10] = [
+    "core.compile.case.empty",
+    "core.compile.case.epsilon",
+    "core.compile.case.var",
+    "core.compile.case.node",
+    "core.compile.case.concat",
+    "core.compile.case.alt",
+    "core.compile.case.star",
+    "core.compile.case.subnode",
+    "core.compile.case.embed",
+    "core.compile.case.iter",
+];
 
 impl Ctx {
     fn fresh(&mut self) -> HState {
@@ -75,6 +93,18 @@ fn merge_iota(
 }
 
 fn compile_frag(e: &Hre, ctx: &mut Ctx) -> Frag {
+    ctx.cases[match e {
+        Hre::Empty => 0,
+        Hre::Epsilon => 1,
+        Hre::Var(_) => 2,
+        Hre::Node(..) => 3,
+        Hre::Concat(..) => 4,
+        Hre::Alt(..) => 5,
+        Hre::Star(_) => 6,
+        Hre::SubNode(..) => 7,
+        Hre::Embed(..) => 8,
+        Hre::Iter(..) => 9,
+    }] += 1;
     match e {
         // Case 1: ∅.
         Hre::Empty => Frag {
@@ -208,14 +238,26 @@ fn compile_frag(e: &Hre, ctx: &mut Ctx) -> Frag {
 /// Compile a hedge regular expression into a non-deterministic hedge
 /// automaton accepting exactly `L(e)` (Lemma 1).
 pub fn compile_hre(e: &Hre) -> Nha {
+    let _span = obs::span("core.compile");
     let mut ctx = Ctx {
         next_state: 0,
         zbar: HashMap::new(),
+        cases: [0; 10],
     };
     let frag = compile_frag(e, &mut ctx);
     let mut rules: HashMap<SymId, Vec<(hedgex_automata::Dfa<HState>, HState)>> = HashMap::new();
+    let mut num_rules = 0u64;
     for (a, lang, q) in frag.rules {
         rules.entry(a).or_default().push((lang.to_dfa(), q));
+        num_rules += 1;
+    }
+    obs::counter_inc("core.compile.calls");
+    obs::counter_add("core.compile.states", u64::from(ctx.next_state.max(1)));
+    obs::counter_add("core.compile.rules", num_rules);
+    for (name, &n) in CASE_NAMES.iter().zip(&ctx.cases) {
+        if n > 0 {
+            obs::counter_add(name, n);
+        }
     }
     Nha::from_parts(ctx.next_state.max(1), frag.iota, rules, frag.finals)
 }

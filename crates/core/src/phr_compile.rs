@@ -23,6 +23,7 @@ use hedgex_automata::{Nfa, SaturatingClasses, StateId};
 use hedgex_ha::product::product_many;
 use hedgex_ha::{determinize, Dha, HState};
 use hedgex_hedge::SymId;
+use hedgex_obs as obs;
 
 use crate::compile::compile_hre;
 use crate::phr::Phr;
@@ -30,6 +31,27 @@ use crate::phr::Phr;
 /// A signature: the set of triplets a concrete `(C₁, a, C₂)` symbol
 /// satisfies, as a bitmask (PHRs are limited to 64 triplets).
 pub type SigMask = u64;
+
+/// Construction-size statistics recorded while compiling a PHR, the raw
+/// material of `hedgex::explain`'s per-phase report.
+#[derive(Debug, Clone, Default)]
+pub struct PhrStats {
+    /// Per component automaton (elder, younger for each triplet in order):
+    /// `(NHA states, DHA states)` — the Theorem 1 blowup, componentwise.
+    pub components: Vec<(u32, u32)>,
+}
+
+impl PhrStats {
+    /// Summed NHA states across components.
+    pub fn total_nha_states(&self) -> u64 {
+        self.components.iter().map(|&(n, _)| u64::from(n)).sum()
+    }
+
+    /// Summed DHA states across components.
+    pub fn total_dha_states(&self) -> u64 {
+        self.components.iter().map(|&(_, d)| u64::from(d)).sum()
+    }
+}
 
 /// The compiled form of a pointed hedge representation (Theorem 4).
 pub struct CompiledPhr {
@@ -39,6 +61,8 @@ pub struct CompiledPhr {
     /// The right-invariant equivalence `≡`: classes are its states; member
     /// languages `2i` / `2i+1` are the lifted `F_{i1}` / `F_{i2}`.
     pub classes: SaturatingClasses<HState>,
+    /// Sizes recorded during compilation.
+    pub stats: PhrStats,
     /// Triplet labels `a_i`.
     labels: Vec<SymId>,
     /// The mirror automaton `N` over signatures, determinized lazily.
@@ -54,27 +78,60 @@ impl CompiledPhr {
             phr.triplets.len() <= 64,
             "pointed hedge representations are limited to 64 triplets"
         );
+        let _span = obs::span("core.phr_compile");
         // Compile every e_i1, e_i2 and take the shared product.
+        let mut stats = PhrStats::default();
         let dhas: Vec<Dha> = phr
             .triplets
             .iter()
             .flat_map(|t| [&t.elder, &t.younger])
-            .map(|e| determinize(&compile_hre(e)).dha)
+            .map(|e| {
+                let nha = compile_hre(e);
+                let dha = determinize(&nha).dha;
+                stats.components.push((nha.num_states(), dha.num_states()));
+                dha
+            })
             .collect();
         let refs: Vec<&Dha> = dhas.iter().collect();
         let prod = product_many(&refs);
         let alphabet: Vec<HState> = (0..prod.dha.num_states()).collect();
-        let classes = SaturatingClasses::build(&prod.lifted_finals, &alphabet);
+        let classes = {
+            let _span = obs::span("core.phr_compile.classes");
+            SaturatingClasses::build(&prod.lifted_finals, &alphabet)
+        };
         let labels: Vec<SymId> = phr.triplets.iter().map(|t| t.label).collect();
         // N accepts the mirror of L: reverse the triplet regex, then read it
         // top-down during the second traversal.
         let n = MirrorDfa::new(Nfa::from_regex(&phr.regex).reverse());
+        obs::counter_inc("core.phr_compile.calls");
+        obs::counter_add(
+            "core.phr_compile.m_states",
+            u64::from(prod.dha.num_states()),
+        );
+        obs::counter_add("core.phr_compile.eq_classes", classes.num_classes() as u64);
+        obs::event("core.phr_compile", || {
+            format!(
+                "triplets={} nha_states={} dha_states={} m_states={} eq_classes={}",
+                phr.triplets.len(),
+                stats.total_nha_states(),
+                stats.total_dha_states(),
+                prod.dha.num_states(),
+                classes.num_classes()
+            )
+        });
         CompiledPhr {
             m: prod.dha,
             classes,
+            stats,
             labels,
             n,
         }
+    }
+
+    /// Number of mirror-automaton states materialized so far (the lazy
+    /// subset construction grows as evaluation encounters signatures).
+    pub fn n_states_materialized(&self) -> usize {
+        self.n.inner.borrow().order.len()
     }
 
     /// Number of triplets.

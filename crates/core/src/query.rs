@@ -16,6 +16,7 @@
 use hedgex_ha::Dha;
 use hedgex_hedge::flat::FlatLabel;
 use hedgex_hedge::{FlatHedge, NodeId, PointedHedge};
+use hedgex_obs as obs;
 
 use crate::hre::Hre;
 use crate::mark_down::{compile_to_dha, mark_run};
@@ -50,6 +51,7 @@ impl SelectQuery {
 
     /// Compile for repeated linear-time evaluation.
     pub fn compile(&self) -> CompiledSelect {
+        let _span = obs::span("core.query.compile");
         CompiledSelect {
             down: compile_to_dha(&self.subhedge),
             phr: CompiledPhr::compile(&self.envelope),
@@ -69,11 +71,14 @@ impl CompiledSelect {
     /// Locate all matches: the subhedge marks intersected with the
     /// envelope matches, in document order. Linear in the node count.
     pub fn locate(&self, h: &FlatHedge) -> Vec<NodeId> {
+        let _span = obs::span("core.query.locate");
         let marks = mark_run(&self.down, h);
-        two_pass::locate(&self.phr, h)
+        let located: Vec<NodeId> = two_pass::locate(&self.phr, h)
             .into_iter()
             .filter(|&n| marks[n as usize])
-            .collect()
+            .collect();
+        obs::counter_add("core.query.located", located.len() as u64);
+        located
     }
 }
 

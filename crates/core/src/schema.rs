@@ -55,6 +55,7 @@ pub fn transform_select(
     sigma: &[SymId],
     vars: &[VarId],
 ) -> SelectionSchema {
+    let _span = hedgex_obs::span("core.schema.transform");
     // 1. schema × M↓e₁ (both deterministic).
     let down = MarkDown::build(e1, sigma);
     let inner = intersect(schema, &down.dha);
@@ -91,6 +92,16 @@ pub fn transform_select(
             .map(|a| (a, prod.nha.rules(a).to_vec()))
             .collect(),
         hedgex_automata::Nfa::from_regex(&finals_re),
+    );
+
+    hedgex_obs::counter_inc("core.schema.transforms");
+    hedgex_obs::counter_add(
+        "core.schema.intersection_states",
+        u64::from(prod.nha.num_states()),
+    );
+    hedgex_obs::counter_add(
+        "core.schema.live_marked",
+        live_marked.iter().filter(|&&b| b).count() as u64,
     );
 
     SelectionSchema {
@@ -218,7 +229,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let schema = simple_schema(&mut ab);
         let u = "(a<%z>|b<%z>)*^z";
-        let e1 = parse_hre(&format!("{u}"), &mut ab).unwrap();
+        let e1 = parse_hre(u, &mut ab).unwrap();
         let e2 = parse_phr(
             &format!("[{u} ; b ; {u}]([{u} ; a ; {u}]|[{u} ; b ; {u}])*"),
             &mut ab,

@@ -23,6 +23,7 @@
 use hedgex_ha::HState;
 use hedgex_hedge::flat::FlatLabel;
 use hedgex_hedge::{FlatHedge, NodeId};
+use hedgex_obs as obs;
 
 use crate::phr_compile::CompiledPhr;
 
@@ -39,6 +40,7 @@ pub struct FirstPass {
 
 /// Run the first traversal.
 pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
+    let _span = obs::span("core.two_pass.first");
     let n = h.num_nodes();
     let states = phr.m.run(h);
     let ncl = phr.classes.num_classes();
@@ -46,40 +48,56 @@ pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
     let mut elder_class = vec![start; n];
     let mut younger_class = vec![start; n];
 
-    // Process every sibling group: the roots, and each node's children.
-    let mut group: Vec<NodeId> = Vec::new();
-    let process = |group: &[NodeId], elder_class: &mut Vec<u32>, younger_class: &mut Vec<u32>| {
-        // Prefix classes, left to right.
-        let mut c = start;
-        for &id in group {
-            elder_class[id as usize] = c;
-            c = phr.classes.step(c, &states[id as usize]);
-        }
-        // Suffix classes, right to left, by transition-function composition.
-        // f maps "class before reading the suffix" → "class after".
-        let mut f: Vec<u32> = (0..ncl as u32).collect(); // identity
-        for &id in group.iter().rev() {
-            younger_class[id as usize] = f[start as usize];
-            // f := f ∘ δ_q  (read q first, then the old suffix).
-            let delta = phr.classes.step_fn(&states[id as usize]);
-            let mut nf = vec![0u32; ncl];
-            for cls in 0..ncl {
-                nf[cls] = f[delta[cls] as usize];
-            }
-            f = nf;
-        }
-    };
+    // Local tallies, flushed once below — the traversal itself stays free
+    // of registry traffic.
+    let mut groups = 0u64;
+    let mut max_group = 0u64;
 
-    process(h.roots(), &mut elder_class, &mut younger_class);
-    for id in h.preorder() {
-        if matches!(h.label(id), FlatLabel::Sym(_)) {
-            group.clear();
-            group.extend(h.children(id));
-            if !group.is_empty() {
-                process(&group, &mut elder_class, &mut younger_class);
+    // Process every sibling group: the roots, and each node's children.
+    // Scoped so the closure's borrow of the tallies ends before the flush.
+    {
+        let mut group: Vec<NodeId> = Vec::new();
+        let mut process =
+            |group: &[NodeId], elder_class: &mut Vec<u32>, younger_class: &mut Vec<u32>| {
+                groups += 1;
+                max_group = max_group.max(group.len() as u64);
+                // Prefix classes, left to right.
+                let mut c = start;
+                for &id in group {
+                    elder_class[id as usize] = c;
+                    c = phr.classes.step(c, &states[id as usize]);
+                }
+                // Suffix classes, right to left, by transition-function composition.
+                // f maps "class before reading the suffix" → "class after".
+                let mut f: Vec<u32> = (0..ncl as u32).collect(); // identity
+                for &id in group.iter().rev() {
+                    younger_class[id as usize] = f[start as usize];
+                    // f := f ∘ δ_q  (read q first, then the old suffix).
+                    let delta = phr.classes.step_fn(&states[id as usize]);
+                    let mut nf = vec![0u32; ncl];
+                    for cls in 0..ncl {
+                        nf[cls] = f[delta[cls] as usize];
+                    }
+                    f = nf;
+                }
+            };
+
+        process(h.roots(), &mut elder_class, &mut younger_class);
+        for id in h.preorder() {
+            if matches!(h.label(id), FlatLabel::Sym(_)) {
+                group.clear();
+                group.extend(h.children(id));
+                if !group.is_empty() {
+                    process(&group, &mut elder_class, &mut younger_class);
+                }
             }
         }
     }
+
+    obs::counter_add("core.two_pass.first.nodes", n as u64);
+    obs::counter_add("core.two_pass.first.groups", groups);
+    obs::counter_add("core.two_pass.first.classes", ncl as u64);
+    obs::histogram_record("core.two_pass.group_size", max_group);
 
     FirstPass {
         states,
@@ -88,10 +106,10 @@ pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
     }
 }
 
-/// Run both traversals: every node whose envelope matches the PHR, in
-/// document order (Theorem 4 + Algorithm 1).
-pub fn locate(phr: &CompiledPhr, h: &FlatHedge) -> Vec<NodeId> {
-    let fp = first_pass(phr, h);
+/// Run the second traversal over a finished [`FirstPass`]: step the mirror
+/// automaton `N` top-down and collect every node whose `N`-state is final.
+pub fn second_pass(phr: &CompiledPhr, h: &FlatHedge, fp: &FirstPass) -> Vec<NodeId> {
+    let _span = obs::span("core.two_pass.second");
     let mut located = Vec::new();
     // Second traversal: top-down, tracking each Σ-node's N-state.
     let mut n_state: Vec<u32> = vec![0; h.num_nodes()];
@@ -114,7 +132,16 @@ pub fn locate(phr: &CompiledPhr, h: &FlatHedge) -> Vec<NodeId> {
             located.push(id);
         }
     }
+    obs::counter_add("core.two_pass.located", located.len() as u64);
     located
+}
+
+/// Run both traversals: every node whose envelope matches the PHR, in
+/// document order (Theorem 4 + Algorithm 1).
+pub fn locate(phr: &CompiledPhr, h: &FlatHedge) -> Vec<NodeId> {
+    let _span = obs::span("core.two_pass");
+    let fp = first_pass(phr, h);
+    second_pass(phr, h, &fp)
 }
 
 #[cfg(test)]

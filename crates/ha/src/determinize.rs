@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use hedgex_automata::{CharClass, Dfa, StateId};
 use hedgex_hedge::SymId;
+use hedgex_obs as obs;
 
 use crate::dha::{Dha, HorizFn};
 use crate::nha::Nha;
@@ -85,6 +86,8 @@ impl Combined {
 /// Convert a non-deterministic hedge automaton into a deterministic one
 /// accepting the same language (Theorem 1).
 pub fn determinize(nha: &Nha) -> Determinized {
+    let _span = obs::span("ha.determinize");
+    let nha_states = nha.num_states() as u64;
     // Interned subsets. Id 0 is the empty subset (the sink).
     let mut ids: HashMap<BTreeSet<HState>, HState> = HashMap::new();
     let mut subsets: Vec<BTreeSet<HState>> = Vec::new();
@@ -116,7 +119,10 @@ pub fn determinize(nha: &Nha) -> Determinized {
         .collect();
 
     // Fixpoint: discover all reachable subsets.
+    let mut rounds = 0u64;
+    let mut max_frontier = 0u64;
     loop {
+        rounds += 1;
         let before = subsets.len();
         for (_, comb) in &combined {
             // BFS over lifted states, reading any currently-known subset.
@@ -124,6 +130,7 @@ pub fn determinize(nha: &Nha) -> Determinized {
             let mut work = vec![comb.initial()];
             seen.insert(comb.initial());
             while let Some(cur) = work.pop() {
+                max_frontier = max_frontier.max(seen.len() as u64);
                 let res = comb.results(&cur);
                 intern(res, &mut subsets);
                 // Iterate over a snapshot of known subsets; new ones found
@@ -157,6 +164,20 @@ pub fn determinize(nha: &Nha) -> Determinized {
     // Lift F: the determinized automaton accepts iff some word drawn from
     // the per-root subsets is accepted by the NHA's F.
     let finals = lift_finals(nha, &subsets);
+
+    obs::counter_inc("ha.determinize.calls");
+    obs::counter_add("ha.determinize.nha_states", nha_states);
+    obs::counter_add("ha.determinize.dha_states", u64::from(num_states));
+    obs::counter_add("ha.determinize.rounds", rounds);
+    obs::histogram_record("ha.determinize.frontier", max_frontier);
+    obs::histogram_record("ha.determinize.subsets", u64::from(num_states));
+    obs::event("ha.determinize", || {
+        format!(
+            "nha_states={nha_states} dha_states={num_states} rounds={rounds} \
+             max_frontier={max_frontier} blowup={:.2}",
+            f64::from(num_states) / nha_states.max(1) as f64
+        )
+    });
 
     Determinized {
         dha: Dha::from_parts(num_states, 0, iota, horiz, finals),

@@ -220,6 +220,9 @@ impl Dha {
     pub fn run(&self, h: &FlatHedge) -> Vec<HState> {
         use hedgex_hedge::flat::FlatLabel;
         let n = h.num_nodes();
+        // One bulk add per run keeps the per-node loop untouched.
+        hedgex_obs::counter_add("ha.dha.run_nodes", n as u64);
+        hedgex_obs::counter_inc("ha.dha.runs");
         let mut states = vec![self.sink; n];
         // Preorder ids: children have larger ids than their parent, so a
         // reverse scan sees every child before its parent.

@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 
 use hedgex_automata::{CharClass, Dfa, StateId};
+use hedgex_obs as obs;
 
 use crate::dha::{Dha, HorizFn};
 use crate::types::HState;
@@ -29,6 +30,7 @@ use crate::types::HState;
 /// Merge congruent states. Returns the reduced automaton and the map from
 /// old states to new ones.
 pub fn minimize_dha(dha: &Dha) -> (Dha, Vec<HState>) {
+    let _span = obs::span("ha.minimize");
     let n = dha.num_states() as usize;
     let symbols: Vec<_> = {
         let mut v: Vec<_> = dha.symbols().collect();
@@ -79,7 +81,9 @@ pub fn minimize_dha(dha: &Dha) -> (Dha, Vec<HState>) {
 
     // Initial partition: everything together; refine until stable.
     let mut letter_block = vec![0u32; n];
+    let mut rounds = 0u64;
     loop {
+        rounds += 1;
         let mut sigs: Vec<Vec<u32>> = vec![Vec::new(); n];
 
         // 1. Behaviour as letters of F.
@@ -121,7 +125,18 @@ pub fn minimize_dha(dha: &Dha) -> (Dha, Vec<HState>) {
         letter_block = next;
     }
 
-    rebuild(dha, &letter_block, &symbols)
+    let out = rebuild(dha, &letter_block, &symbols);
+    obs::counter_inc("ha.minimize.calls");
+    obs::counter_add("ha.minimize.states_in", n as u64);
+    obs::counter_add("ha.minimize.states_out", u64::from(out.0.num_states()));
+    obs::counter_add("ha.minimize.rounds", rounds);
+    obs::event("ha.minimize", || {
+        format!(
+            "states_in={n} states_out={} rounds={rounds}",
+            out.0.num_states()
+        )
+    });
+    out
 }
 
 /// Reconstruct a symbolic DFA view of a horizontal function so the shared

@@ -18,6 +18,7 @@
 //! sampled comparisons.
 
 use hedgex_hedge::Hedge;
+use hedgex_obs as obs;
 
 use crate::analysis::accepted_witness;
 use crate::dha::Dha;
@@ -54,10 +55,20 @@ pub fn difference(a: &Dha, b: &Dha) -> Dha {
 
 /// Is `L(a) ⊆ L(b)`? On failure, returns a witness hedge in `L(a) \ L(b)`.
 pub fn included(a: &Dha, b: &Dha) -> Result<(), Hedge> {
-    match accepted_witness(&difference(a, b)) {
+    let _span = obs::span("ha.included");
+    let out = match accepted_witness(&difference(a, b)) {
         None => Ok(()),
         Some(w) => Err(w),
-    }
+    };
+    obs::event("ha.included", || {
+        format!(
+            "lhs_states={} rhs_states={} holds={}",
+            a.num_states(),
+            b.num_states(),
+            out.is_ok()
+        )
+    });
+    out
 }
 
 /// Is `L(a) = L(b)`? On failure, returns a hedge in the symmetric

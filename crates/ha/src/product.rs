@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use hedgex_automata::{CharClass, Dfa, StateId};
 use hedgex_hedge::SymId;
+use hedgex_obs as obs;
 
 use crate::dha::{Dha, HorizFn};
 use crate::types::{HState, Leaf};
@@ -69,6 +70,7 @@ impl Horiz<'_> {
 /// Build the cross product of several deterministic hedge automata over the
 /// reachable product states.
 pub fn product_many(parts: &[&Dha]) -> ManyProduct {
+    let _span = obs::span("ha.product");
     let n = parts.len();
     assert!(n > 0, "product of zero automata");
 
@@ -219,6 +221,11 @@ pub fn product_many(parts: &[&Dha]) -> ManyProduct {
         // The empty language as a total DFA over product ids.
         hedgex_automata::Nfa::<HState>::empty_lang().to_dfa()
     };
+
+    obs::counter_inc("ha.product.calls");
+    obs::counter_add("ha.product.components", n as u64);
+    obs::counter_add("ha.product.states", u64::from(num_states));
+    obs::histogram_record("ha.product.states", u64::from(num_states));
 
     ManyProduct {
         dha: Dha::from_parts(num_states, sink, iota, horiz, empty_f),

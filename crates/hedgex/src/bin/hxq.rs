@@ -5,16 +5,20 @@
 //! hxq --phr   '[…;figure;…][…]'          doc.xml     # full PHR syntax
 //! hxq --subhedge 'caption<$#text>' --path '…' doc.xml # select(e1, e2)
 //! hxq … --mark                                        # print marked XML
+//! hxq … --explain                                     # per-phase report
 //! hxq … -                                             # read from stdin
 //! ```
 //!
 //! Prints the Dewey addresses of located nodes (one per line), or with
-//! `--mark` the whole document with `hx:match="1"` on matches.
+//! `--mark` the whole document with `hx:match="1"` on matches. Results go
+//! to stdout; diagnostics and `--explain` reports go to stderr. Exit code
+//! 0 on success, 1 on runtime errors, 2 on usage errors.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use hedgex::prelude::*;
+use hedgex::ExplainReport;
 
 struct Args {
     path: Option<String>,
@@ -22,20 +26,29 @@ struct Args {
     subhedge: Option<String>,
     mark: bool,
     keep_attrs: bool,
+    explain: bool,
+    metrics_json: Option<String>,
     file: Option<String>,
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: hxq (--path EXPR | --phr EXPR) [--subhedge HRE] [--mark] [--attrs] FILE|-\n\
-         \n\
-         --path EXPR      classical path expression (root-to-node), e.g. 'article section* figure'\n\
-         --phr EXPR       pointed hedge representation, e.g. '[e1 ; name ; e2][…]*'\n\
-         --subhedge HRE   additionally require the node's content to match (select(e1, e2))\n\
-         --mark           print the document with hx:match=\"1\" on located nodes\n\
-         --attrs          map attributes to attr:name children (queryable)\n\
-         FILE             an XML file, or '-' for stdin"
-    );
+const HELP: &str = "\
+usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
+
+  --path EXPR          classical path expression (root-to-node),
+                       e.g. 'article section* figure'
+  --phr EXPR           pointed hedge representation, e.g. '[e1 ; name ; e2][…]*'
+  --subhedge HRE       additionally require the node's content to match
+                       (select(e1, e2))
+  --mark               print the document with hx:match=\"1\" on located nodes
+  --attrs              map attributes to attr:name children (queryable)
+  --explain            print a per-phase pipeline report (automaton sizes,
+                       timings, match counts) to stderr
+  --metrics-json PATH  write the explain report as JSON to PATH
+  -h, --help           show this help
+  FILE                 an XML file, or '-' for stdin";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hxq: {msg} (try 'hxq --help')");
     ExitCode::from(2)
 }
 
@@ -46,25 +59,68 @@ fn parse_args() -> Result<Args, ExitCode> {
         subhedge: None,
         mark: false,
         keep_attrs: false,
+        explain: false,
+        metrics_json: None,
         file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage_error(&format!("option '{flag}' needs a value")))
+        };
         match arg.as_str() {
-            "--path" => out.path = Some(it.next().ok_or_else(usage)?),
-            "--phr" => out.phr = Some(it.next().ok_or_else(usage)?),
-            "--subhedge" => out.subhedge = Some(it.next().ok_or_else(usage)?),
+            "--path" => out.path = Some(value("--path")?),
+            "--phr" => out.phr = Some(value("--phr")?),
+            "--subhedge" => out.subhedge = Some(value("--subhedge")?),
             "--mark" => out.mark = true,
             "--attrs" => out.keep_attrs = true,
-            "--help" | "-h" => return Err(usage()),
+            "--explain" => out.explain = true,
+            "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Err(ExitCode::SUCCESS);
+            }
+            _ if arg.starts_with('-') && arg != "-" => {
+                return Err(usage_error(&format!("unknown option '{arg}'")));
+            }
             _ if out.file.is_none() => out.file = Some(arg),
-            _ => return Err(usage()),
+            _ => return Err(usage_error(&format!("unexpected argument '{arg}'"))),
         }
     }
-    if out.file.is_none() || (out.path.is_none() && out.phr.is_none()) {
-        return Err(usage());
+    if out.file.is_none() {
+        return Err(usage_error("no input file (use '-' for stdin)"));
+    }
+    if out.path.is_none() && out.phr.is_none() {
+        return Err(usage_error("one of --path or --phr is required"));
+    }
+    if out.path.is_some() && out.phr.is_some() {
+        return Err(usage_error("--path and --phr are mutually exclusive"));
     }
     Ok(out)
+}
+
+fn print_report(report: &ExplainReport) {
+    eprintln!("explain:");
+    for p in &report.phases {
+        eprintln!("  {:<18} {:>12.3} ms", p.name, p.wall_ns as f64 / 1e6);
+    }
+    eprintln!(
+        "  components: {} (NHA states {}, DHA states {}, blowup {:.2}x)",
+        report.components.len(),
+        report.nha_states,
+        report.dha_states,
+        report.blowup_ratio
+    );
+    eprintln!(
+        "  M states {}, eq-classes {} (elder used {}, younger used {}), N states {}",
+        report.m_states,
+        report.eq_classes,
+        report.elder_classes_used,
+        report.younger_classes_used,
+        report.n_states
+    );
+    eprintln!("  nodes {}, located {}", report.nodes, report.located);
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -92,24 +148,58 @@ fn run(args: Args) -> Result<(), String> {
     );
     let flat = FlatHedge::from_hedge(&hedge);
 
-    // Envelope condition.
-    let mut hits: Vec<u32> = if let Some(p) = &args.path {
-        let path = parse_path(p, &mut ab).map_err(|e| e.to_string())?;
-        path.locate(&flat)
-    } else {
-        let phr = parse_phr(args.phr.as_deref().expect("validated"), &mut ab)
-            .map_err(|e| e.to_string())?;
-        let compiled = CompiledPhr::compile(&phr);
-        two_pass::locate(&compiled, &flat)
-    };
+    let subhedge = args
+        .subhedge
+        .as_deref()
+        .map(|e1| hedgex::core::parse_hre(e1, &mut ab).map_err(|e| e.to_string()))
+        .transpose()?;
 
-    // Optional subhedge condition.
-    if let Some(e1) = &args.subhedge {
-        let e = hedgex::core::parse_hre(e1, &mut ab).map_err(|e| e.to_string())?;
-        let dha = hedgex::core::mark_down::compile_to_dha(&e);
-        let marks = hedgex::core::mark_run(&dha, &flat);
-        hits.retain(|&n| marks[n as usize]);
-    }
+    let want_report = args.explain || args.metrics_json.is_some();
+
+    // Envelope condition (and, through explain, the subhedge filter).
+    let (hits, report): (Vec<u32>, Option<ExplainReport>) = {
+        // The envelope as a PHR: --phr directly, --path via the Section 5
+        // embedding (universal sibling conditions).
+        let phr = if let Some(p) = &args.phr {
+            Some(parse_phr(p, &mut ab).map_err(|e| e.to_string())?)
+        } else if want_report {
+            let path = parse_path(args.path.as_deref().expect("validated"), &mut ab)
+                .map_err(|e| e.to_string())?;
+            let syms: Vec<_> = ab.syms().collect();
+            let vars: Vec<_> = ab.vars().collect();
+            let z = ab.sub("hxq-universal");
+            Some(path.to_phr(&syms, &vars, z))
+        } else {
+            None
+        };
+        match phr {
+            Some(phr) if want_report => {
+                let report = hedgex::explain(&phr, subhedge.as_ref(), &flat);
+                (report.hits.clone(), Some(report))
+            }
+            Some(phr) => {
+                let compiled = CompiledPhr::compile(&phr);
+                let mut hits = two_pass::locate(&compiled, &flat);
+                if let Some(e) = &subhedge {
+                    let dha = hedgex::core::mark_down::compile_to_dha(e);
+                    let marks = hedgex::core::mark_run(&dha, &flat);
+                    hits.retain(|&n| marks[n as usize]);
+                }
+                (hits, None)
+            }
+            None => {
+                let path = parse_path(args.path.as_deref().expect("validated"), &mut ab)
+                    .map_err(|e| e.to_string())?;
+                let mut hits = path.locate(&flat);
+                if let Some(e) = &subhedge {
+                    let dha = hedgex::core::mark_down::compile_to_dha(e);
+                    let marks = hedgex::core::mark_run(&dha, &flat);
+                    hits.retain(|&n| marks[n as usize]);
+                }
+                (hits, None)
+            }
+        }
+    };
 
     if args.mark {
         let mut marks = vec![false; flat.num_nodes()];
@@ -123,7 +213,16 @@ fn run(args: Args) -> Result<(), String> {
             println!("/{}", dewey.join("/"));
         }
     }
-    eprintln!("{} node(s) located", hits.len());
+
+    if let Some(report) = &report {
+        if args.explain {
+            print_report(report);
+        }
+        if let Some(path) = &args.metrics_json {
+            std::fs::write(path, format!("{}\n", report.to_json()))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
     Ok(())
 }
 

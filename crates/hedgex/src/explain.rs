@@ -1,0 +1,194 @@
+//! Query-plan explain: run the full PHR pipeline on one document and
+//! report what every phase cost and what every construction produced.
+//!
+//! [`explain`] measures each phase directly (wall-clock via
+//! `std::time::Instant`, sizes read off the constructed artifacts), so the
+//! report is deterministic in its structural fields and works identically
+//! with the `obs` feature on or off. The ambient `hedgex-obs` registry
+//! snapshot is attached as a best-effort `metrics` section when
+//! instrumentation is compiled in.
+
+use std::time::Instant;
+
+use hedgex_core::mark_down::{compile_to_dha, mark_run};
+use hedgex_core::phr::Phr;
+use hedgex_core::two_pass;
+use hedgex_core::{CompiledPhr, Hre};
+use hedgex_hedge::{FlatHedge, NodeId};
+use hedgex_obs as obs;
+use hedgex_testkit::Json;
+
+/// One timed phase of the pipeline.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name (`compile`, `subhedge_compile`, `first_pass`, …).
+    pub name: &'static str,
+    /// Wall time in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Sizes of one compiled PHR component (one elder or younger HRE).
+#[derive(Debug, Clone)]
+pub struct ComponentSizes {
+    /// NHA states after Lemma 1 compilation.
+    pub nha_states: u32,
+    /// DHA states after Theorem 1 determinization.
+    pub dha_states: u32,
+}
+
+/// The structured result of [`explain`].
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Per-phase wall times, in execution order.
+    pub phases: Vec<Phase>,
+    /// Per-component automaton sizes (elder, younger per triplet).
+    pub components: Vec<ComponentSizes>,
+    /// Summed NHA states across components.
+    pub nha_states: u64,
+    /// Summed DHA states across components.
+    pub dha_states: u64,
+    /// Determinization blowup: summed DHA states / summed NHA states.
+    pub blowup_ratio: f64,
+    /// States of the shared product automaton `M` (Theorem 4).
+    pub m_states: u32,
+    /// Number of ≡-classes saturating the lifted final sets.
+    pub eq_classes: usize,
+    /// Distinct elder-word classes the first traversal actually assigned.
+    pub elder_classes_used: usize,
+    /// Distinct younger-word classes the first traversal actually assigned.
+    pub younger_classes_used: usize,
+    /// Mirror-automaton states materialized by the second traversal.
+    pub n_states: usize,
+    /// Nodes in the document.
+    pub nodes: usize,
+    /// Located nodes (after the optional subhedge filter).
+    pub located: usize,
+    /// The located nodes themselves, in document order.
+    pub hits: Vec<NodeId>,
+    /// Snapshot of the obs registry (`{"enabled": false}` when obs is
+    /// compiled out).
+    pub metrics: Json,
+}
+
+impl ExplainReport {
+    /// Render as JSON (round-trips through `hedgex_testkit::Json::parse`).
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("name", Json::Str(p.name.to_string())),
+                        ("wall_ns", Json::Num(p.wall_ns as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let components = Json::Arr(
+            self.components
+                .iter()
+                .map(|c| {
+                    Json::obj([
+                        ("nha_states", Json::Num(f64::from(c.nha_states))),
+                        ("dha_states", Json::Num(f64::from(c.dha_states))),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("phases", phases),
+            ("components", components),
+            ("nha_states", Json::Num(self.nha_states as f64)),
+            ("dha_states", Json::Num(self.dha_states as f64)),
+            ("blowup_ratio", Json::Num(self.blowup_ratio)),
+            ("m_states", Json::Num(f64::from(self.m_states))),
+            ("eq_classes", Json::Num(self.eq_classes as f64)),
+            (
+                "elder_classes_used",
+                Json::Num(self.elder_classes_used as f64),
+            ),
+            (
+                "younger_classes_used",
+                Json::Num(self.younger_classes_used as f64),
+            ),
+            ("n_states", Json::Num(self.n_states as f64)),
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("located", Json::Num(self.located as f64)),
+            (
+                "hits",
+                Json::Arr(self.hits.iter().map(|&n| Json::Num(f64::from(n))).collect()),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+fn timed<T>(phases: &mut Vec<Phase>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    phases.push(Phase {
+        name,
+        wall_ns: t.elapsed().as_nanos() as u64,
+    });
+    out
+}
+
+/// Run the PHR pipeline on `doc`, measuring every phase: compile the
+/// envelope (and optional subhedge condition), run both traversals of
+/// Algorithm 1, and report automaton sizes, class usage, timings, and the
+/// match set. The match set is exactly what `two_pass::locate` (plus the
+/// subhedge mark filter) produces.
+pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainReport {
+    let _span = obs::span("hedgex.explain");
+    let mut phases = Vec::new();
+
+    let compiled = timed(&mut phases, "compile", || CompiledPhr::compile(phr));
+    let marks = subhedge.map(|e| {
+        let dha = timed(&mut phases, "subhedge_compile", || compile_to_dha(e));
+        timed(&mut phases, "subhedge_mark", || mark_run(&dha, doc))
+    });
+
+    let fp = timed(&mut phases, "first_pass", || {
+        two_pass::first_pass(&compiled, doc)
+    });
+    let mut hits = timed(&mut phases, "second_pass", || {
+        two_pass::second_pass(&compiled, doc, &fp)
+    });
+    if let Some(marks) = &marks {
+        hits.retain(|&n| marks[n as usize]);
+    }
+
+    let distinct = |classes: &[u32]| {
+        let mut v: Vec<u32> = classes.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    };
+
+    let nha_states = compiled.stats.total_nha_states();
+    let dha_states = compiled.stats.total_dha_states();
+    ExplainReport {
+        phases,
+        components: compiled
+            .stats
+            .components
+            .iter()
+            .map(|&(n, d)| ComponentSizes {
+                nha_states: n,
+                dha_states: d,
+            })
+            .collect(),
+        nha_states,
+        dha_states,
+        blowup_ratio: dha_states as f64 / nha_states.max(1) as f64,
+        m_states: compiled.m.num_states(),
+        eq_classes: compiled.classes.num_classes(),
+        elder_classes_used: distinct(&fp.elder_class),
+        younger_classes_used: distinct(&fp.younger_class),
+        n_states: compiled.n_states_materialized(),
+        nodes: doc.num_nodes(),
+        located: hits.len(),
+        hits,
+        metrics: obs::snapshot(),
+    }
+}

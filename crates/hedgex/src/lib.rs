@@ -22,7 +22,11 @@ pub use hedgex_baseline as baseline;
 pub use hedgex_core as core;
 pub use hedgex_ha as ha;
 pub use hedgex_hedge as hedge;
+pub use hedgex_obs as obs;
 pub use hedgex_xml as xml;
+
+pub mod explain;
+pub use explain::{explain, ExplainReport};
 
 /// Everything most programs need, one import away.
 pub mod prelude {

@@ -1,0 +1,349 @@
+//! The live implementation behind the `enabled` feature.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use hedgex_testkit::Json;
+
+use crate::{bucket_bounds, bucket_index, HIST_BUCKETS};
+
+/// Finished-span records kept verbatim; past this, only per-name totals.
+const SPAN_CAP: usize = 4096;
+/// Trace-event records kept verbatim.
+const EVENT_CAP: usize = 1024;
+
+struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// A finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (allocation order, starts at 1).
+    pub id: u64,
+    /// Id of the span active on this thread when this one started.
+    pub parent: Option<u64>,
+    /// Static name.
+    pub name: &'static str,
+    /// Nanoseconds since the process epoch at creation.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub wall_ns: u64,
+}
+
+#[derive(Default)]
+struct SpanSink {
+    records: Vec<SpanRecord>,
+    dropped: u64,
+    /// Exact per-name (count, total_ns), unaffected by the record cap.
+    totals: BTreeMap<&'static str, (u64, u64)>,
+}
+
+struct EventRecord {
+    name: &'static str,
+    detail: String,
+    ts_ns: u64,
+}
+
+#[derive(Default)]
+struct EventSink {
+    records: Vec<EventRecord>,
+    dropped: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    hists: Mutex<BTreeMap<&'static str, Hist>>,
+    spans: Mutex<SpanSink>,
+    events: Mutex<EventSink>,
+    next_span_id: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Nanoseconds since the first observation in this process (monotonic).
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    /// The innermost live span on this thread (parent for new spans).
+    static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Add `delta` to the named counter (creating it at 0).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    let cell = {
+        let mut map = registry().counters.lock().unwrap();
+        Arc::clone(map.entry(name).or_default())
+    };
+    cell.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Increment the named counter by one.
+#[inline]
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Current value of the named counter (0 if never touched).
+pub fn counter_value(name: &'static str) -> u64 {
+    registry()
+        .counters
+        .lock()
+        .unwrap()
+        .get(name)
+        .map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// Set the named gauge (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    registry().gauges.lock().unwrap().insert(name, value);
+}
+
+/// Record a value in the named log2-bucket histogram.
+pub(crate) fn histogram_record(name: &'static str, value: u64) {
+    let mut map = registry().hists.lock().unwrap();
+    let h = map.entry(name).or_default();
+    if h.count == 0 {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+    h.count += 1;
+    h.sum = h.sum.saturating_add(value);
+    h.buckets[bucket_index(value)] += 1;
+}
+
+/// Record a trace event. `detail` is only rendered when recording
+/// actually happens (it is skipped past the event cap), so callers may
+/// format freely.
+pub fn event(name: &'static str, detail: impl FnOnce() -> String) {
+    let ts_ns = now_ns();
+    let mut sink = registry().events.lock().unwrap();
+    if sink.records.len() >= EVENT_CAP {
+        sink.dropped += 1;
+        return;
+    }
+    let detail = detail();
+    sink.records.push(EventRecord {
+        name,
+        detail,
+        ts_ns,
+    });
+}
+
+/// RAII guard for a scoped timer; records itself into the sink on drop.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    prev: Option<u64>,
+}
+
+/// Start a span. The span active on this thread (if any) becomes its
+/// parent; this span becomes current until the guard drops.
+pub fn span(name: &'static str) -> Span {
+    let start_ns = now_ns();
+    let id = registry().next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let prev = CURRENT_SPAN.with(|c| c.replace(Some(id)));
+    Span {
+        id,
+        name,
+        start: Instant::now(),
+        start_ns,
+        prev,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let wall_ns = self.start.elapsed().as_nanos() as u64;
+        CURRENT_SPAN.with(|c| c.set(self.prev));
+        let mut sink = registry().spans.lock().unwrap();
+        let t = sink.totals.entry(self.name).or_insert((0, 0));
+        t.0 += 1;
+        t.1 = t.1.saturating_add(wall_ns);
+        if sink.records.len() >= SPAN_CAP {
+            sink.dropped += 1;
+            return;
+        }
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.prev,
+            name: self.name,
+            start_ns: self.start_ns,
+            wall_ns,
+        };
+        sink.records.push(record);
+    }
+}
+
+/// All finished spans currently in the sink (oldest first).
+pub fn spans() -> Vec<SpanRecord> {
+    registry().spans.lock().unwrap().records.clone()
+}
+
+/// Render the whole registry as JSON.
+pub fn snapshot() -> Json {
+    let r = registry();
+    let counters = Json::Obj(
+        r.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Num(v.load(Ordering::Relaxed) as f64)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        r.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+            .collect(),
+    );
+    let hists = Json::Obj(
+        r.hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                let buckets: Vec<Json> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        let (lo, hi) = bucket_bounds(i);
+                        Json::obj([
+                            ("lo", Json::Num(lo as f64)),
+                            ("hi", Json::Num(hi as f64)),
+                            ("count", Json::Num(c as f64)),
+                        ])
+                    })
+                    .collect();
+                (
+                    k.to_string(),
+                    Json::obj([
+                        ("count", Json::Num(h.count as f64)),
+                        ("sum", Json::Num(h.sum as f64)),
+                        ("min", Json::Num(h.min as f64)),
+                        ("max", Json::Num(h.max as f64)),
+                        ("buckets", Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let (span_records, span_dropped, span_totals) = {
+        let sink = r.spans.lock().unwrap();
+        let records: Vec<Json> = sink
+            .records
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("id", Json::Num(s.id as f64)),
+                    (
+                        "parent",
+                        s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                    ),
+                    ("name", Json::Str(s.name.to_string())),
+                    ("start_ns", Json::Num(s.start_ns as f64)),
+                    ("wall_ns", Json::Num(s.wall_ns as f64)),
+                ])
+            })
+            .collect();
+        let totals = Json::Obj(
+            sink.totals
+                .iter()
+                .map(|(name, (count, total_ns))| {
+                    (
+                        name.to_string(),
+                        Json::obj([
+                            ("count", Json::Num(*count as f64)),
+                            ("total_ns", Json::Num(*total_ns as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        (records, sink.dropped, totals)
+    };
+    let events = {
+        let sink = r.events.lock().unwrap();
+        let records: Vec<Json> = sink
+            .records
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("name", Json::Str(e.name.to_string())),
+                    ("detail", Json::Str(e.detail.clone())),
+                    ("ts_ns", Json::Num(e.ts_ns as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("records", Json::Arr(records)),
+            ("dropped", Json::Num(sink.dropped as f64)),
+        ])
+    };
+    Json::obj([
+        ("enabled", Json::Bool(true)),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", hists),
+        (
+            "spans",
+            Json::obj([
+                ("records", Json::Arr(span_records)),
+                ("dropped", Json::Num(span_dropped as f64)),
+                ("totals", span_totals),
+            ]),
+        ),
+        ("events", events),
+    ])
+}
+
+/// Clear every counter, gauge, histogram, span, and event. Live spans
+/// that finish after a reset still record (with their original ids).
+pub fn reset() {
+    let r = registry();
+    r.counters.lock().unwrap().clear();
+    r.gauges.lock().unwrap().clear();
+    r.hists.lock().unwrap().clear();
+    *r.spans.lock().unwrap() = SpanSink::default();
+    *r.events.lock().unwrap() = EventSink::default();
+}

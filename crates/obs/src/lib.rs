@@ -1,0 +1,173 @@
+//! `hedgex-obs` — in-tree, zero-external-dependency observability.
+//!
+//! Three facilities, all behind one global registry:
+//!
+//! * **Spans** — scoped RAII timers over a monotonic clock. Spans nest:
+//!   a thread-local stack attributes each span to the span active at its
+//!   creation, so traces reconstruct the pipeline's call tree. Finished
+//!   spans go to a bounded thread-safe sink (per-name totals are exact
+//!   even when individual records are dropped past the cap).
+//! * **Metrics** — named counters (atomic, safe to bump from many
+//!   threads), gauges (last-write-wins), and base-2 logarithmic
+//!   histograms (bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`; bucket 0 is
+//!   the value 0), with count/sum/min/max.
+//! * **Export** — [`snapshot`] renders the whole registry as a
+//!   [`hedgex_testkit::Json`] value for `hxq --metrics-json`, bench
+//!   reports, and tests; [`reset`] clears it (tests, per-run deltas).
+//!
+//! # Zero cost when disabled
+//!
+//! Everything is feature-gated: built without the `enabled` feature
+//! (workspace-wide: `cargo build --no-default-features`), every function
+//! here is an empty `#[inline]` body and a [`span`] guard is a zero-sized
+//! type, so instrumented hot loops compile to exactly the uninstrumented
+//! code. Instrumentation call sites therefore never need their own
+//! `#[cfg]`. Arguments are still evaluated — keep them to integers
+//! already at hand (pass closures to [`event`] for anything that
+//! allocates).
+
+/// Number of histogram buckets: bucket 0 (the value 0) plus one bucket
+/// per power of two up to `2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket a value falls into: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive `(lo, hi)` bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp;
+
+#[cfg(feature = "enabled")]
+pub use imp::{
+    counter_add, counter_inc, counter_value, event, gauge_set, reset, snapshot, span, spans, Span,
+    SpanRecord,
+};
+
+/// Is instrumentation compiled in?
+pub fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+#[cfg(not(feature = "enabled"))]
+mod noop {
+    use hedgex_testkit::Json;
+
+    /// A finished span (never produced in no-op builds).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SpanRecord {
+        /// Unique id.
+        pub id: u64,
+        /// Id of the span active when this one started, if any.
+        pub parent: Option<u64>,
+        /// Static name.
+        pub name: &'static str,
+        /// Nanoseconds since the process epoch at creation.
+        pub start_ns: u64,
+        /// Duration in nanoseconds.
+        pub wall_ns: u64,
+    }
+
+    /// RAII guard for a scoped timer (zero-sized no-op).
+    #[must_use = "a span measures the scope it is bound to"]
+    pub struct Span(());
+
+    /// Start a span (no-op).
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span(())
+    }
+
+    /// Add to a counter (no-op).
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    /// Increment a counter (no-op).
+    #[inline(always)]
+    pub fn counter_inc(_name: &'static str) {}
+
+    /// Read a counter (always 0 in no-op builds).
+    #[inline(always)]
+    pub fn counter_value(_name: &'static str) -> u64 {
+        0
+    }
+
+    /// Set a gauge (no-op).
+    #[inline(always)]
+    pub fn gauge_set(_name: &'static str, _value: f64) {}
+
+    /// Record a trace event; the detail closure is never called.
+    #[inline(always)]
+    pub fn event(_name: &'static str, _detail: impl FnOnce() -> String) {}
+
+    /// Finished spans (always empty in no-op builds).
+    #[inline(always)]
+    pub fn spans() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
+    /// Snapshot the registry: just `{"enabled": false}` in no-op builds.
+    pub fn snapshot() -> Json {
+        Json::obj([("enabled", Json::Bool(false))])
+    }
+
+    /// Clear the registry (no-op).
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    counter_add, counter_inc, counter_value, event, gauge_set, reset, snapshot, span, spans, Span,
+    SpanRecord,
+};
+
+/// Record a value in a log2-bucket histogram.
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    #[cfg(feature = "enabled")]
+    imp::histogram_record(name, value);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Bounds and indices agree on every bucket edge.
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi edge of bucket {i}");
+            if i + 1 < HIST_BUCKETS {
+                assert_eq!(bucket_bounds(i + 1).0, hi + 1, "buckets {i},{} abut", i + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Behavioural tests for the live registry.
+//!
+//! The registry is process-global, so every test that could observe
+//! another's writes serializes on one lock and uses unique metric names.
+
+#![cfg(feature = "enabled")]
+
+use std::sync::Mutex;
+
+use hedgex_obs as obs;
+use hedgex_testkit::Json;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn counters_accumulate_and_read_back() {
+    let _g = lock();
+    obs::counter_add("test.counter.basic", 3);
+    obs::counter_inc("test.counter.basic");
+    assert_eq!(obs::counter_value("test.counter.basic"), 4);
+    assert_eq!(obs::counter_value("test.counter.never"), 0);
+}
+
+#[test]
+fn concurrent_counter_increments_from_two_threads() {
+    let _g = lock();
+    const N: u64 = 10_000;
+    let t1 = std::thread::spawn(|| {
+        for _ in 0..N {
+            obs::counter_inc("test.counter.concurrent");
+        }
+    });
+    let t2 = std::thread::spawn(|| {
+        for _ in 0..N {
+            obs::counter_inc("test.counter.concurrent");
+        }
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+    assert_eq!(obs::counter_value("test.counter.concurrent"), 2 * N);
+}
+
+#[test]
+fn nested_spans_attribute_parents() {
+    let _g = lock();
+    {
+        let _outer = obs::span("test.span.outer");
+        {
+            let _inner = obs::span("test.span.inner");
+        }
+        // Sibling after the nested one — still a child of outer. Spans
+        // drop in reverse declaration order, so sibling restores outer
+        // as current before outer itself finishes.
+        let _sibling = obs::span("test.span.sibling");
+    }
+    let spans = obs::spans();
+    let find = |name: &str| {
+        spans
+            .iter()
+            .rev()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span {name} not recorded"))
+            .clone()
+    };
+    let outer = find("test.span.outer");
+    let inner = find("test.span.inner");
+    let sibling = find("test.span.sibling");
+    assert_eq!(inner.parent, Some(outer.id), "inner nests under outer");
+    assert_eq!(sibling.parent, Some(outer.id), "sibling nests under outer");
+    assert_ne!(inner.id, outer.id);
+    // After everything dropped, a fresh span is a root again.
+    {
+        let _root = obs::span("test.span.root");
+    }
+    let root = obs::spans()
+        .into_iter()
+        .rev()
+        .find(|s| s.name == "test.span.root")
+        .unwrap();
+    assert_eq!(root.parent, None);
+    // Durations are sane: outer spans contain their children's window.
+    assert!(outer.wall_ns >= inner.wall_ns);
+    assert!(outer.start_ns <= inner.start_ns);
+}
+
+#[test]
+fn histogram_counts_land_in_the_right_buckets() {
+    let _g = lock();
+    obs::reset();
+    for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+        obs::histogram_record("test.hist.buckets", v);
+    }
+    let snap = obs::snapshot();
+    let h = snap
+        .get("histograms")
+        .and_then(|hs| hs.get("test.hist.buckets"))
+        .expect("histogram exported");
+    assert_eq!(h.get("count").and_then(Json::as_u64), Some(9));
+    assert_eq!(h.get("min").and_then(Json::as_u64), Some(0));
+    assert_eq!(h.get("max").and_then(Json::as_u64), Some(1024));
+    assert_eq!(
+        h.get("sum").and_then(Json::as_u64),
+        Some(1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024) // the recorded values (incl. 0)
+    );
+    let buckets = h.get("buckets").and_then(Json::as_arr).unwrap();
+    let count_at = |lo: u64| {
+        buckets
+            .iter()
+            .find(|b| b.get("lo").and_then(Json::as_u64) == Some(lo))
+            .and_then(|b| b.get("count").and_then(Json::as_u64))
+    };
+    assert_eq!(count_at(0), Some(1), "value 0");
+    assert_eq!(count_at(1), Some(1), "value 1");
+    assert_eq!(count_at(2), Some(2), "values 2, 3");
+    assert_eq!(count_at(4), Some(2), "values 4, 7");
+    assert_eq!(count_at(8), Some(1), "value 8");
+    assert_eq!(count_at(512), Some(1), "value 1023");
+    assert_eq!(count_at(1024), Some(1), "value 1024");
+}
+
+#[test]
+fn snapshot_reset_and_events() {
+    let _g = lock();
+    obs::reset();
+    obs::counter_add("test.reset.counter", 5);
+    obs::gauge_set("test.reset.gauge", 2.5);
+    obs::event("test.reset.event", || "detail".to_string());
+    {
+        let _s = obs::span("test.reset.span");
+    }
+    let snap = obs::snapshot();
+    assert_eq!(snap.get("enabled"), Some(&Json::Bool(true)));
+    assert_eq!(
+        snap.get("counters")
+            .and_then(|c| c.get("test.reset.counter"))
+            .and_then(Json::as_u64),
+        Some(5)
+    );
+    assert_eq!(
+        snap.get("gauges")
+            .and_then(|g| g.get("test.reset.gauge"))
+            .and_then(Json::as_f64),
+        Some(2.5)
+    );
+    let events = snap
+        .get("events")
+        .and_then(|e| e.get("records"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(Json::as_str) == Some("test.reset.event")));
+    let totals = snap.get("spans").and_then(|s| s.get("totals")).unwrap();
+    assert_eq!(
+        totals
+            .get("test.reset.span")
+            .and_then(|t| t.get("count"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    // The snapshot is valid JSON text that round-trips through the parser.
+    let text = snap.to_string();
+    assert_eq!(Json::parse(&text).unwrap(), snap);
+    // Reset clears everything.
+    obs::reset();
+    let snap = obs::snapshot();
+    assert_eq!(obs::counter_value("test.reset.counter"), 0);
+    assert_eq!(snap.get("gauges"), Some(&Json::Obj(vec![])));
+    assert!(obs::spans().is_empty());
+}

@@ -49,6 +49,7 @@ impl Bench {
             sample_size: 20,
             throughput: None,
             results: Vec::new(),
+            extra: Vec::new(),
         }
     }
 }
@@ -100,6 +101,7 @@ pub struct BenchGroup<'a> {
     sample_size: usize,
     throughput: Option<Throughput>,
     results: Vec<BenchResult>,
+    extra: Vec<(String, Json)>,
 }
 
 impl BenchGroup<'_> {
@@ -112,6 +114,14 @@ impl BenchGroup<'_> {
     /// Annotate subsequent benchmarks with a throughput denominator.
     pub fn throughput(&mut self, t: Throughput) -> &mut Self {
         self.throughput = Some(t);
+        self
+    }
+
+    /// Attach an arbitrary JSON section to the group report (e.g. an
+    /// observability-registry snapshot). The testkit deliberately has no
+    /// dependency on the instrumentation crate — callers pass the value.
+    pub fn attach_extra(&mut self, key: &str, value: Json) -> &mut Self {
+        self.extra.push((key.to_string(), value));
         self
     }
 
@@ -205,10 +215,12 @@ impl BenchGroup<'_> {
                 ])
             })
             .collect();
-        let report = Json::obj([
-            ("group", Json::Str(self.name.clone())),
-            ("benchmarks", Json::Arr(benches)),
-        ]);
+        let mut fields = vec![
+            ("group".to_string(), Json::Str(self.name.clone())),
+            ("benchmarks".to_string(), Json::Arr(benches)),
+        ];
+        fields.append(&mut self.extra);
+        let report = Json::Obj(fields);
         if let Some(dir) = &self.bench.out_dir {
             let path = dir.join(format!("BENCH_{}.json", self.name));
             if std::fs::create_dir_all(dir).is_ok() {
@@ -338,6 +350,27 @@ mod tests {
         assert_eq!(
             benches[0].get("throughput_elements").and_then(Json::as_u64),
             Some(10)
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn attached_extras_land_in_the_report() {
+        let dir = std::env::temp_dir().join("hedgex-testkit-bench-extra");
+        let mut c = Bench {
+            test_mode: false,
+            out_dir: Some(dir.clone()),
+        };
+        let mut g = c.benchmark_group("extra");
+        g.sample_size(1);
+        g.bench_function("f", |b| b.iter(|| 0));
+        g.attach_extra("metrics", Json::obj([("enabled", Json::Bool(true))]));
+        g.finish();
+        let raw = std::fs::read_to_string(dir.join("BENCH_extra.json")).unwrap();
+        let j = Json::parse(&raw).unwrap();
+        assert_eq!(
+            j.get("metrics").and_then(|m| m.get("enabled")),
+            Some(&Json::Bool(true))
         );
         let _ = std::fs::remove_dir_all(dir);
     }

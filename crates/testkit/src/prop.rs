@@ -79,10 +79,15 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// The generation half of a [`Gen`].
+type GenFn<T> = Rc<dyn Fn(&mut Rng) -> T>;
+/// The shrinking half of a [`Gen`]: propose strictly simpler candidates.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A value generator with an attached shrinker.
 pub struct Gen<T> {
-    generate: Rc<dyn Fn(&mut Rng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    generate: GenFn<T>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -43,8 +43,19 @@ impl std::error::Error for XmlError {}
 /// matching the hedge model). Comments, PIs and the XML declaration are
 /// consumed and dropped.
 pub fn parse_xml(src: &str) -> Result<Vec<XmlNode>, XmlError> {
-    let mut p = P { src, pos: 0 };
+    let _span = hedgex_obs::span("xml.parse");
+    let mut p = P {
+        src,
+        pos: 0,
+        tally: Tally::default(),
+    };
     let nodes = p.nodes(None)?;
+    // Tallied locally during the parse, flushed once here.
+    hedgex_obs::counter_add("xml.parse.bytes", src.len() as u64);
+    hedgex_obs::counter_add("xml.parse.elements", p.tally.elements);
+    hedgex_obs::counter_add("xml.parse.text_nodes", p.tally.text_nodes);
+    hedgex_obs::counter_add("xml.parse.attrs", p.tally.attrs);
+    hedgex_obs::counter_add("xml.parse.entities", p.tally.entities);
     p.skip_misc();
     if p.pos != src.len() {
         return Err(p.err("trailing content"));
@@ -67,9 +78,20 @@ pub fn parse_xml(src: &str) -> Result<Vec<XmlNode>, XmlError> {
     Ok(roots)
 }
 
+/// Parse-time counts, kept local so the scanning loops never touch the
+/// (mutex-guarded) obs registry.
+#[derive(Default)]
+struct Tally {
+    elements: u64,
+    text_nodes: u64,
+    attrs: u64,
+    entities: u64,
+}
+
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    tally: Tally,
 }
 
 impl<'a> P<'a> {
@@ -149,6 +171,7 @@ impl<'a> P<'a> {
         macro_rules! flush_text {
             () => {
                 if !text.is_empty() {
+                    self.tally.text_nodes += 1;
                     out.push(XmlNode::Text(std::mem::take(&mut text)));
                 }
             };
@@ -210,6 +233,7 @@ impl<'a> P<'a> {
 
     fn element(&mut self) -> Result<XmlNode, XmlError> {
         assert!(self.eat("<"));
+        self.tally.elements += 1;
         let name = self.name()?;
         let mut attrs = Vec::new();
         loop {
@@ -253,6 +277,7 @@ impl<'a> P<'a> {
                             Some(_) => v.push(self.bump().expect("peeked")),
                         }
                     }
+                    self.tally.attrs += 1;
                     attrs.push((k, v));
                 }
                 None => return Err(self.err("unexpected end of input in tag")),
@@ -279,6 +304,7 @@ impl<'a> P<'a> {
 
     fn entity(&mut self) -> Result<char, XmlError> {
         assert!(self.eat("&"));
+        self.tally.entities += 1;
         let end = self
             .rest()
             .find(';')

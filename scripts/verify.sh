@@ -14,6 +14,17 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== cargo build --offline --no-default-features =="
+# The obs instrumentation must compile out cleanly across the workspace.
+cargo build --offline --no-default-features
+
+echo "== cargo test -q --offline --no-default-features (pinned two-pass) =="
+# Same match sets with instrumentation compiled out: observe, never perturb.
+cargo test -q --offline --no-default-features -p hedgex --test two_pass_pinned
+
+echo "== cargo clippy --offline --all-targets -- -D warnings =="
+cargo clippy -q --offline --all-targets -- -D warnings
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -1,0 +1,176 @@
+//! End-to-end tests for the `hxq` binary: exit-code contract, `--explain`
+//! and `--metrics-json` output, and agreement between the CLI's match set
+//! and the library pipeline.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use hedgex::prelude::*;
+use hedgex_bench::doc_workload;
+use hedgex_testkit::Json;
+
+fn hxq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hxq"))
+        .args(args)
+        .output()
+        .expect("hxq runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hxq-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn usage_errors_exit_2_with_one_line_diagnostics() {
+    for (args, needle) in [
+        (&["--bogus", "x.xml"][..], "unknown option '--bogus'"),
+        (&["--path"][..], "needs a value"),
+        (&["x.xml"][..], "one of --path or --phr"),
+        (
+            &["--path", "a", "--phr", "b", "x.xml"][..],
+            "mutually exclusive",
+        ),
+        (&["--path", "a"][..], "no input file"),
+    ] {
+        let out = hxq(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(err.lines().count(), 1, "diagnostic must be one line: {err}");
+        assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        assert!(out.stdout.is_empty());
+    }
+}
+
+#[test]
+fn help_exits_0_and_documents_the_flags() {
+    let out = hxq(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in [
+        "--path",
+        "--phr",
+        "--subhedge",
+        "--mark",
+        "--explain",
+        "--metrics-json",
+    ] {
+        assert!(text.contains(flag), "help should document {flag}");
+    }
+}
+
+#[test]
+fn unreadable_file_exits_1() {
+    let out = hxq(&["--path", "a", "/nonexistent/really-not-here.xml"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.lines().count(), 1, "diagnostic must be one line: {err}");
+    assert!(err.contains("really-not-here.xml"));
+}
+
+#[test]
+fn explain_metrics_json_on_docbook_is_valid_and_consistent() {
+    // The acceptance scenario: a generated DocBook document, the paper's
+    // standard ancestor query, --explain + --metrics-json.
+    let w = doc_workload(300, 5);
+    let xml = scratch("docbook.xml");
+    std::fs::write(&xml, write_xml(&w.doc, &w.ab, None)).unwrap();
+    let json_path = scratch("metrics.json");
+
+    let out = hxq(&[
+        "--path",
+        "article section* figure",
+        "--explain",
+        "--metrics-json",
+        json_path.to_str().unwrap(),
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stdout: one Dewey address per located node.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let printed = stdout.lines().filter(|l| l.starts_with('/')).count();
+    assert!(printed > 0, "workload should contain figures");
+
+    // stderr: the human-readable report.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("explain:"));
+    assert!(stderr.contains("compile"));
+    assert!(stderr.contains("located"));
+
+    // The JSON file parses and its fields are mutually consistent.
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let report = Json::parse(&text).expect("metrics JSON parses");
+    let nha = report.get("nha_states").and_then(Json::as_u64).unwrap();
+    let dha = report.get("dha_states").and_then(Json::as_u64).unwrap();
+    assert!(nha > 0);
+    let blowup = report.get("blowup_ratio").and_then(Json::as_f64).unwrap();
+    assert!((blowup - dha as f64 / nha as f64).abs() < 1e-9);
+    for c in report.get("components").and_then(Json::as_arr).unwrap() {
+        let n = c.get("nha_states").and_then(Json::as_u64).unwrap();
+        let d = c.get("dha_states").and_then(Json::as_u64).unwrap();
+        if n < 32 {
+            assert!(d <= 1 << n, "subset-construction bound violated");
+        }
+    }
+    assert!(report.get("eq_classes").and_then(Json::as_u64).unwrap() > 0);
+
+    // Located count == printed lines == library answer.
+    let located = report.get("located").and_then(Json::as_u64).unwrap();
+    assert_eq!(located as usize, printed);
+    let mut ab = w.ab;
+    let path = parse_path("article section* figure", &mut ab).unwrap();
+    assert_eq!(located as usize, path.locate(&w.doc).len());
+
+    // Phase timings exist and are non-negative numbers.
+    let phases = report.get("phases").and_then(Json::as_arr).unwrap();
+    assert!(phases
+        .iter()
+        .any(|p| p.get("name").and_then(Json::as_str) == Some("compile")));
+    for p in phases {
+        assert!(p.get("wall_ns").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
+fn phr_and_path_agree_through_the_cli() {
+    let (xml_src, expected) = {
+        let mut ab = Alphabet::new();
+        let doc = parse_xml("<a><b/><c/><b/></a>").unwrap();
+        let hedge = to_hedge(
+            &doc,
+            &mut ab,
+            HedgeConfig {
+                keep_text: true,
+                keep_attrs: false,
+            },
+        );
+        let flat = FlatHedge::from_hedge(&hedge);
+        let path = parse_path("a b", &mut ab).unwrap();
+        let hits = path.locate(&flat);
+        (String::from("<a><b/><c/><b/></a>"), hits.len())
+    };
+    let xml = scratch("small.xml");
+    std::fs::write(&xml, xml_src).unwrap();
+
+    let out = hxq(&["--path", "a b", xml.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let lines = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert_eq!(lines, expected);
+
+    // Same query with --explain must print the same matches.
+    let out2 = hxq(&["--path", "a b", "--explain", xml.to_str().unwrap()]);
+    assert_eq!(out2.status.code(), Some(0));
+    assert_eq!(out.stdout, out2.stdout);
+
+    std::fs::remove_file(&xml).ok();
+}
