@@ -32,6 +32,8 @@
 //!   regular sets, whose states *are* the equivalence classes and which
 //!   saturates every member language by construction.
 
+#![forbid(unsafe_code)]
+
 pub mod class;
 pub mod classes;
 pub mod dense;

@@ -16,6 +16,8 @@
 //! * [`quadratic_marks`] — Theorem 3's marking recomputed per node instead
 //!   of shared bottom-up.
 
+#![forbid(unsafe_code)]
+
 use hedgex_core::phr::Phr;
 use hedgex_core::phr_compile::CompiledPhr;
 use hedgex_ha::Dha;

@@ -1,0 +1,85 @@
+//! Experiment E6 (warm) — the compile-once / run-many contract: evaluating
+//! through a shared [`Plan`] with a reused [`EvalScratch`] vs the cold
+//! per-query path (compile + allocating locate on every submission) on the
+//! DocBook corpus.
+//!
+//! Expected shape: the warm path amortizes the exponential preprocessing to
+//! zero and allocates nothing per node, so its node throughput must beat
+//! the cold per-query path by well over the 2× acceptance floor. The group
+//! report carries a directly measured `warm_vs_cold` speedup section.
+
+use std::time::Instant;
+
+use hedgex_testkit::{Bench, BenchmarkId, Json, Throughput};
+
+use hedgex_bench::{doc_workload, figure_before_table_phr};
+use hedgex_core::two_pass;
+use hedgex_core::{CompiledPhr, EvalScratch, Plan};
+
+/// Median wall time of `k` runs of `f`, in nanoseconds.
+fn median_ns(k: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<u128> = (0..k)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(&mut f)();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[k / 2] as f64
+}
+
+fn main() {
+    let mut c = Bench::from_env();
+    let smoke = c.smoke();
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
+
+    let mut group = c.benchmark_group("E6_warm_throughput");
+    group.sample_size(15);
+    for &n in sizes {
+        let mut w = doc_workload(n, 0xE6);
+        let phr = figure_before_table_phr(&mut w.ab);
+        let plan = Plan::compile(&phr);
+        let mut scratch = EvalScratch::new();
+        group.throughput(Throughput::Elements(w.nodes as u64));
+        group.bench_with_input(BenchmarkId::new("warm", w.nodes), &w, |b, w| {
+            b.iter(|| std::hint::black_box(plan.locate_into(&w.doc, &mut scratch).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("cold_query", w.nodes), &w, |b, w| {
+            b.iter(|| {
+                let compiled = CompiledPhr::compile(&phr);
+                std::hint::black_box(two_pass::locate(&compiled, &w.doc).len())
+            })
+        });
+    }
+
+    // Direct speedup evidence for the acceptance floor (warm ≥ 2× cold):
+    // one measured pair on a mid-size document, recorded in the report.
+    let (n, k) = if smoke { (2_000, 3) } else { (16_000, 11) };
+    let mut w = doc_workload(n, 0xE6);
+    let phr = figure_before_table_phr(&mut w.ab);
+    let plan = Plan::compile(&phr);
+    let mut scratch = EvalScratch::new();
+    plan.locate_into(&w.doc, &mut scratch); // size the buffers
+    let warm = median_ns(k, || {
+        plan.locate_into(&w.doc, &mut scratch);
+    });
+    let cold = median_ns(k, || {
+        let compiled = CompiledPhr::compile(&phr);
+        two_pass::locate(&compiled, &w.doc);
+    });
+    group.attach_extra(
+        "warm_vs_cold",
+        Json::obj([
+            ("nodes", Json::Num(w.nodes as f64)),
+            ("warm_median_ns", Json::Num(warm)),
+            ("cold_median_ns", Json::Num(cold)),
+            ("speedup", Json::Num(cold / warm.max(1.0))),
+        ]),
+    );
+    group.finish();
+}

@@ -4,6 +4,8 @@
 //! this library centralizes the queries, schemas, and corpora they share so
 //! that every bench measures the same objects the tests verified.
 
+#![forbid(unsafe_code)]
+
 use hedgex_core::hre::{parse_hre, Hre};
 use hedgex_core::path_expr::{parse_path, PathExpr};
 use hedgex_core::phr::{parse_phr, Phr};

@@ -52,6 +52,8 @@
 //! assert_eq!(flat.dewey(2), vec![2, 1]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 pub mod decompile;
 pub mod hre;
@@ -60,6 +62,7 @@ pub mod mark_up;
 pub mod path_expr;
 pub mod phr;
 pub mod phr_compile;
+pub mod plan;
 pub mod query;
 pub mod schema;
 pub mod two_pass;
@@ -72,6 +75,8 @@ pub use mark_up::MarkUp;
 pub use path_expr::{parse_path, PathExpr};
 pub use phr::{parse_phr, Pbhr, Phr};
 pub use phr_compile::CompiledPhr;
-pub use query::{CompiledSelect, SelectQuery};
+pub use plan::{Plan, PlanCache};
+pub use query::{CompiledSelect, SelectQuery, SelectScratch};
 pub use schema::{transform_select, SelectionSchema};
+pub use two_pass::EvalScratch;
 pub mod ambiguity;

@@ -36,9 +36,26 @@ pub fn compile_to_dha(e: &Hre) -> Dha {
 /// For every node: does its subhedge lie in `L(e)` (given `e` compiled to
 /// `dha`)? Leaves are never marked (their envelope admits no `η`).
 pub fn mark_run(dha: &Dha, h: &FlatHedge) -> Vec<bool> {
-    let states = dha.run(h);
-    let f = dha.finals();
-    let mut marks = vec![false; h.num_nodes()];
+    let mut scratch = hedgex_ha::EvalScratch::new();
+    let mut marks = Vec::new();
+    mark_run_into(dha, h, &mut scratch, &mut marks);
+    marks
+}
+
+/// [`mark_run`] into caller-owned buffers (the warm path): the `M`-run
+/// reuses `scratch` and the marks overwrite `marks` in place. Per child
+/// edge this costs one dense `F`-table step — states are always `< |Q|`
+/// and the dense alphabet is the identity, so the state is its own column.
+pub fn mark_run_into(
+    dha: &Dha,
+    h: &FlatHedge,
+    scratch: &mut hedgex_ha::EvalScratch,
+    marks: &mut Vec<bool>,
+) {
+    let states = dha.run_into(h, scratch);
+    let f = dha.finals_dense();
+    marks.clear();
+    marks.resize(h.num_nodes(), false);
     for id in h.preorder() {
         if !matches!(h.label(id), FlatLabel::Sym(_)) {
             continue;
@@ -46,12 +63,11 @@ pub fn mark_run(dha: &Dha, h: &FlatHedge) -> Vec<bool> {
         let mut s = f.start();
         let mut c = h.first_child(id);
         while let Some(cid) = c {
-            s = f.step(s, &states[cid as usize]);
+            s = f.step_idx(s, states[cid as usize] as usize);
             c = h.next_sibling(cid);
         }
         marks[id as usize] = f.is_accepting(s);
     }
-    marks
 }
 
 /// The explicit `M↓e` of Theorem 3.

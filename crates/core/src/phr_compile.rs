@@ -13,10 +13,17 @@
 //!   PHR's regex by the homomorphism `ξ` (Theorem 4). The cubic concrete
 //!   alphabet is never materialized: a concrete symbol `(C₁, a, C₂)` is
 //!   represented by its *signature* — the set of triplets it satisfies —
-//!   and the mirror automaton `N` is determinized lazily over signatures
-//!   as evaluation encounters them.
+//!   and the mirror automaton `N` is determinized at compile time over the
+//!   (finitely many) signatures the class space can produce.
+//!
+//! Everything evaluation touches per node is a **dense table** laid out at
+//! compile time: signatures factor as bitmask intersections
+//! `elder_mask[C₁] & label_mask[a] & younger_mask[C₂]`, the distinct masks
+//! per position are interned as *kinds*, and a 3-dimensional `col3` table
+//! maps a kind triple straight to a column of `N`'s transition table. A
+//! [`CompiledPhr`] is therefore immutable after compilation (`Send + Sync`),
+//! which is what lets [`crate::plan::Plan`] share it behind an `Arc`.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 use hedgex_automata::{Nfa, SaturatingClasses, StateId};
@@ -65,14 +72,60 @@ pub struct CompiledPhr {
     pub stats: PhrStats,
     /// Triplet labels `a_i`.
     labels: Vec<SymId>,
-    /// The mirror automaton `N` over signatures, determinized lazily.
-    n: MirrorDfa,
+    /// The dense execution tables (see [`Engine`]).
+    engine: Engine,
+}
+
+/// The dense evaluation tables of a compiled PHR. Built once by
+/// [`CompiledPhr::compile`]; every per-node step afterwards is an array
+/// index — no hashing, no interior mutability, no allocation.
+struct Engine {
+    /// Number of ≡-classes.
+    ncl: usize,
+    /// `≡`'s transition table, state-major: `class_step[q · ncl + c]` is the
+    /// class of `w·q` when `c` is the class of `w`. The row for `q` is
+    /// exactly the transition function `δ_q` Algorithm 1 composes.
+    class_step: Vec<u32>,
+    /// Per class `C₁`: bit `i` set iff `C₁ ⊆ F_{i1}`.
+    elder_mask: Vec<SigMask>,
+    /// Per class `C₂`: bit `i` set iff `C₂ ⊆ F_{i2}`.
+    younger_mask: Vec<SigMask>,
+    /// `SymId`-indexed: bit `i` set iff `a = a_i`; out of range → 0.
+    label_mask: Vec<SigMask>,
+    /// Class → index of its distinct elder mask (kind).
+    elder_kind: Vec<u32>,
+    /// Class → index of its distinct younger mask.
+    younger_kind: Vec<u32>,
+    /// `SymId` → index of its distinct label mask; out of range →
+    /// `zero_label_kind`.
+    label_kind: Vec<u32>,
+    /// The kind of the all-zero label mask (symbols labelling no triplet).
+    zero_label_kind: u32,
+    /// Number of distinct label / younger kinds (strides of `col3`).
+    n_label_kinds: usize,
+    n_younger_kinds: usize,
+    /// `(elder kind, label kind, younger kind)` → column of `n_table`:
+    /// `col3[(e · n_label_kinds + l) · n_younger_kinds + y]`.
+    col3: Vec<u32>,
+    /// The achievable signatures — `N`'s concrete alphabet.
+    sigs: Vec<SigMask>,
+    /// Signature → column (only consulted by the mask-taking [`n_step`]
+    /// entry point, never in per-node loops).
+    ///
+    /// [`n_step`]: CompiledPhr::n_step
+    sig_idx: HashMap<SigMask, u32>,
+    /// Column of the all-zero signature (fallback for foreign masks).
+    zero_col: u32,
+    /// `N` determinized over `sigs`: `n_table[s · sigs.len() + col]`.
+    n_table: Vec<u32>,
+    /// Is `s` a final state of `N`?
+    n_accept: Vec<bool>,
 }
 
 impl CompiledPhr {
     /// Compile a PHR. Exponential-time preprocessing (determinization of
-    /// the component automata and of `≡`), as Section 7 states; evaluation
-    /// afterwards is linear per hedge.
+    /// the component automata, of `≡`, and of the mirror automaton `N`), as
+    /// Section 7 states; evaluation afterwards is linear per hedge.
     pub fn compile(phr: &Phr) -> CompiledPhr {
         assert!(
             phr.triplets.len() <= 64,
@@ -102,21 +155,33 @@ impl CompiledPhr {
         let labels: Vec<SymId> = phr.triplets.iter().map(|t| t.label).collect();
         // N accepts the mirror of L: reverse the triplet regex, then read it
         // top-down during the second traversal.
-        let n = MirrorDfa::new(Nfa::from_regex(&phr.regex).reverse());
+        let engine = {
+            let _span = obs::span("core.phr_compile.engine");
+            Engine::build(
+                &prod.dha,
+                &classes,
+                &labels,
+                Nfa::from_regex(&phr.regex).reverse(),
+            )
+        };
         obs::counter_inc("core.phr_compile.calls");
         obs::counter_add(
             "core.phr_compile.m_states",
             u64::from(prod.dha.num_states()),
         );
         obs::counter_add("core.phr_compile.eq_classes", classes.num_classes() as u64);
+        obs::counter_add("core.phr_compile.n_states", engine.n_accept.len() as u64);
         obs::event("core.phr_compile", || {
             format!(
-                "triplets={} nha_states={} dha_states={} m_states={} eq_classes={}",
+                "triplets={} nha_states={} dha_states={} m_states={} eq_classes={} \
+                 n_states={} signatures={}",
                 phr.triplets.len(),
                 stats.total_nha_states(),
                 stats.total_dha_states(),
                 prod.dha.num_states(),
-                classes.num_classes()
+                classes.num_classes(),
+                engine.n_accept.len(),
+                engine.sigs.len()
             )
         });
         CompiledPhr {
@@ -124,14 +189,20 @@ impl CompiledPhr {
             classes,
             stats,
             labels,
-            n,
+            engine,
         }
     }
 
-    /// Number of mirror-automaton states materialized so far (the lazy
-    /// subset construction grows as evaluation encounters signatures).
+    /// Number of mirror-automaton states. The dense engine determinizes `N`
+    /// over every achievable signature at compile time, so this is the full
+    /// reachable state count of Theorem 4's `(S, μ, s₀, S_fin)`.
     pub fn n_states_materialized(&self) -> usize {
-        self.n.inner.borrow().order.len()
+        self.engine.n_accept.len()
+    }
+
+    /// Number of distinct achievable signatures (`N`'s concrete alphabet).
+    pub fn num_signatures(&self) -> usize {
+        self.engine.sigs.len()
     }
 
     /// Number of triplets.
@@ -143,110 +214,260 @@ impl CompiledPhr {
     /// `(e_{i1}, a_i, e_{i2})` does it satisfy? By saturation, membership
     /// of the elder/younger words in `F_{i1}`/`F_{i2}` is a function of
     /// their classes — this is exactly the homomorphism `ξ` of Theorem 4,
-    /// evaluated pointwise.
+    /// evaluated pointwise. One three-way mask intersection; no hashing.
+    #[inline]
     pub fn signature(&self, c1: u32, a: SymId, c2: u32) -> SigMask {
-        let mut mask = 0u64;
-        for (i, &label) in self.labels.iter().enumerate() {
-            if label == a
-                && self.classes.class_in_lang(c1, 2 * i)
-                && self.classes.class_in_lang(c2, 2 * i + 1)
-            {
-                mask |= 1 << i;
-            }
-        }
-        mask
+        self.engine.elder_mask[c1 as usize]
+            & self
+                .engine
+                .label_mask
+                .get(a.0 as usize)
+                .copied()
+                .unwrap_or(0)
+            & self.engine.younger_mask[c2 as usize]
     }
 
-    /// Step the mirror automaton `N` (used top-down by Algorithm 1).
+    /// Extend class `c` by one `M`-state on the right (right-invariance):
+    /// the dense equivalent of `classes.step`, requiring `q < |Q|` — which
+    /// every state produced by `M`'s runs satisfies.
+    #[inline]
+    pub fn class_step(&self, c: u32, q: HState) -> u32 {
+        self.engine.class_step[q as usize * self.engine.ncl + c as usize]
+    }
+
+    /// The transition function `δ_q` over classes, as a borrowed table row
+    /// (what Algorithm 1's right-to-left suffix pass composes). Requires
+    /// `q < |Q|`.
+    #[inline]
+    pub fn class_step_row(&self, q: HState) -> &[u32] {
+        let ncl = self.engine.ncl;
+        &self.engine.class_step[q as usize * ncl..(q as usize + 1) * ncl]
+    }
+
+    /// Step the mirror automaton `N` (used top-down by Algorithm 1). Takes
+    /// an explicit signature mask; masks no class/label combination can
+    /// produce take the all-zero signature's column, matching the lazy
+    /// determinization's behaviour on dead input.
     pub fn n_step(&self, s: u32, sig: SigMask) -> u32 {
-        self.n.step(s, sig)
+        let col = self
+            .engine
+            .sig_idx
+            .get(&sig)
+            .copied()
+            .unwrap_or(self.engine.zero_col);
+        self.engine.n_table[s as usize * self.engine.sigs.len() + col as usize]
+    }
+
+    /// The fused per-node step of the second traversal:
+    /// `μ((C₁, a, C₂), parent)` resolved through the precomputed kind
+    /// tables — two class-indexed loads, one `col3` load, one table step.
+    #[inline]
+    pub fn n_transition(&self, parent: u32, c1: u32, a: SymId, c2: u32) -> u32 {
+        let e = self.engine.elder_kind[c1 as usize] as usize;
+        let l = self
+            .engine
+            .label_kind
+            .get(a.0 as usize)
+            .copied()
+            .unwrap_or(self.engine.zero_label_kind) as usize;
+        let y = self.engine.younger_kind[c2 as usize] as usize;
+        let col = self.engine.col3
+            [(e * self.engine.n_label_kinds + l) * self.engine.n_younger_kinds + y]
+            as usize;
+        self.engine.n_table[parent as usize * self.engine.sigs.len() + col]
     }
 
     /// `N`'s start state.
     pub fn n_start(&self) -> u32 {
-        self.n.start()
+        0
     }
 
     /// Is `s` a final state of `N` (i.e. the decomposition read so far, in
     /// mirror order, spells a word of `L`)?
+    #[inline]
     pub fn n_accepting(&self, s: u32) -> bool {
-        self.n.is_accepting(s)
+        self.engine.n_accept[s as usize]
     }
 
-    /// Materialize `N` as an explicit table over all signatures reachable
+    /// Materialize `N` as an explicit table over all signatures achievable
     /// from the class space — the finite `(S, μ, s₀, S_fin)` of Theorem 4,
     /// needed by the Theorem 5 construction. Returns the explicit automaton
-    /// and the list of distinct signatures (its alphabet).
+    /// and the list of distinct signatures (its alphabet). The engine
+    /// already holds exactly this table, so this is a copy, not a rebuild.
     pub fn explicit_n(&self) -> (ExplicitN, Vec<SigMask>) {
-        // Enumerate every signature the class space can produce.
-        let mut sigs: Vec<SigMask> = Vec::new();
-        let mut seen: HashMap<SigMask, u32> = HashMap::new();
-        let ncl = self.classes.num_classes() as u32;
-        for c1 in 0..ncl {
-            for &a in &{
-                let mut ls = self.labels.clone();
-                ls.sort();
-                ls.dedup();
-                ls
-            } {
-                for c2 in 0..ncl {
-                    let s = self.signature(c1, a, c2);
-                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(s) {
-                        e.insert(sigs.len() as u32);
-                        sigs.push(s);
-                    }
+        (
+            ExplicitN {
+                table: self.engine.n_table.clone(),
+                accept: self.engine.n_accept.clone(),
+                width: self.engine.sigs.len(),
+                sig_idx: self.engine.sig_idx.clone(),
+            },
+            self.engine.sigs.clone(),
+        )
+    }
+}
+
+impl Engine {
+    /// Lay out every dense table: the state-major class-step table, the
+    /// three mask families with their kind interning, the achievable
+    /// signature alphabet, `N` determinized over it, and the `col3` map
+    /// from kind triples to `N`-table columns.
+    fn build(
+        m: &Dha,
+        classes: &SaturatingClasses<HState>,
+        labels: &[SymId],
+        n_nfa: Nfa<u32>,
+    ) -> Engine {
+        let ncl = classes.num_classes();
+        let num_states = m.num_states();
+
+        // ≡'s transitions, state-major, so δ_q is a contiguous row.
+        let mut class_step = vec![0u32; num_states as usize * ncl];
+        for q in 0..num_states {
+            for c in 0..ncl as u32 {
+                class_step[q as usize * ncl + c as usize] = classes.step(c, &q);
+            }
+        }
+
+        // Signature factorization: sig(C₁, a, C₂) = E[C₁] & L[a] & Y[C₂].
+        let mut elder_mask = vec![0 as SigMask; ncl];
+        let mut younger_mask = vec![0 as SigMask; ncl];
+        for c in 0..ncl {
+            for i in 0..labels.len() {
+                if classes.class_in_lang(c as u32, 2 * i) {
+                    elder_mask[c] |= 1 << i;
+                }
+                if classes.class_in_lang(c as u32, 2 * i + 1) {
+                    younger_mask[c] |= 1 << i;
                 }
             }
         }
-        // The all-zero signature must exist (symbols matching no triplet).
-        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(0) {
-            e.insert(sigs.len() as u32);
-            sigs.push(0);
+        let label_width = labels.iter().map(|a| a.0 as usize + 1).max().unwrap_or(0);
+        let mut label_mask = vec![0 as SigMask; label_width];
+        for (i, a) in labels.iter().enumerate() {
+            label_mask[a.0 as usize] |= 1 << i;
         }
-        // Determinize N against this closed signature alphabet.
+
+        // Intern each mask family's distinct values as kinds.
+        let intern_kinds = |masks: &[SigMask]| -> (Vec<SigMask>, Vec<u32>) {
+            let mut kinds: Vec<SigMask> = Vec::new();
+            let mut idx: HashMap<SigMask, u32> = HashMap::new();
+            let kind_of = masks
+                .iter()
+                .map(|&m| {
+                    *idx.entry(m).or_insert_with(|| {
+                        kinds.push(m);
+                        (kinds.len() - 1) as u32
+                    })
+                })
+                .collect();
+            (kinds, kind_of)
+        };
+        let (elder_kinds, elder_kind) = intern_kinds(&elder_mask);
+        let (younger_kinds, younger_kind) = intern_kinds(&younger_mask);
+        // The zero mask must be a label kind: symbols outside the table (or
+        // labelling no triplet) produce it.
+        let mut label_masks_with_zero = label_mask.clone();
+        label_masks_with_zero.push(0);
+        let (label_kinds, mut label_kind) = intern_kinds(&label_masks_with_zero);
+        let zero_label_kind = label_kind.pop().expect("zero mask was appended");
+
+        // The achievable signatures are exactly the kind-triple products;
+        // enumerate them once and determinize N against that alphabet.
+        let mut sigs: Vec<SigMask> = Vec::new();
+        let mut sig_idx: HashMap<SigMask, u32> = HashMap::new();
+        let n_label_kinds = label_kinds.len();
+        let n_younger_kinds = younger_kinds.len();
+        let mut col3 = vec![0u32; elder_kinds.len() * n_label_kinds * n_younger_kinds];
+        for (e, &em) in elder_kinds.iter().enumerate() {
+            for (l, &lm) in label_kinds.iter().enumerate() {
+                for (y, &ym) in younger_kinds.iter().enumerate() {
+                    let sig = em & lm & ym;
+                    let col = *sig_idx.entry(sig).or_insert_with(|| {
+                        sigs.push(sig);
+                        (sigs.len() - 1) as u32
+                    });
+                    col3[(e * n_label_kinds + l) * n_younger_kinds + y] = col;
+                }
+            }
+        }
+        let zero_col = *sig_idx
+            .get(&0)
+            .expect("zero signature is always achievable");
+
+        // Subset-construct N over the closed signature alphabet.
+        let width = sigs.len();
         let mut states: HashMap<Vec<StateId>, u32> = HashMap::new();
         let mut order: Vec<Vec<StateId>> = Vec::new();
         let mut work: Vec<u32> = Vec::new();
-        let start_set = self.n.nfa.eps_closure(&[self.n.nfa.start()]);
+        let start_set = n_nfa.eps_closure(&[n_nfa.start()]);
         states.insert(start_set.clone(), 0);
         order.push(start_set);
         work.push(0);
-        let width = sigs.len();
-        let mut table: Vec<u32> = Vec::new();
-        let mut accept: Vec<bool> = Vec::new();
+        let mut n_table: Vec<u32> = Vec::new();
         while let Some(id) = work.pop() {
-            let cur = order[id as usize].clone();
-            if table.len() < order.len() * width {
-                table.resize(order.len() * width, 0);
+            if n_table.len() < order.len() * width {
+                n_table.resize(order.len() * width, 0);
             }
+            // Take-and-restore instead of clone: `states` (not `order`)
+            // deduplicates, so the emptied slot cannot be re-interned.
+            let cur = std::mem::take(&mut order[id as usize]);
             for (j, &sig) in sigs.iter().enumerate() {
-                let next = self.n.move_set(&cur, sig);
+                let next = move_set(&n_nfa, &cur, sig);
                 let fresh = order.len() as u32;
                 let tid = *states.entry(next.clone()).or_insert_with(|| {
                     order.push(next);
                     work.push(fresh);
                     fresh
                 });
-                table[id as usize * width + j] = tid;
+                n_table[id as usize * width + j] = tid;
+            }
+            order[id as usize] = cur;
+        }
+        if n_table.len() < order.len() * width {
+            n_table.resize(order.len() * width, 0);
+        }
+        let n_accept: Vec<bool> = order
+            .iter()
+            .map(|set| set.iter().any(|&q| n_nfa.is_accepting(q)))
+            .collect();
+
+        Engine {
+            ncl,
+            class_step,
+            elder_mask,
+            younger_mask,
+            label_mask,
+            elder_kind,
+            younger_kind,
+            label_kind,
+            zero_label_kind,
+            n_label_kinds,
+            n_younger_kinds,
+            col3,
+            sigs,
+            sig_idx,
+            zero_col,
+            n_table,
+            n_accept,
+        }
+    }
+}
+
+/// One NFA-subset move by a signature (any triplet in the mask fires).
+fn move_set(nfa: &Nfa<u32>, cur: &[StateId], sig: SigMask) -> Vec<StateId> {
+    let mut moved = std::collections::BTreeSet::new();
+    for &q in cur {
+        for (c, t) in nfa.transitions(q) {
+            let fires = (0..64)
+                .filter(|i| sig & (1 << i) != 0)
+                .any(|i| c.contains(&(i as u32)));
+            if fires {
+                moved.insert(*t);
             }
         }
-        if table.len() < order.len() * width {
-            table.resize(order.len() * width, 0);
-        }
-        for set in &order {
-            accept.push(set.iter().any(|&q| self.n.nfa.is_accepting(q)));
-        }
-        let sig_idx = seen;
-        (
-            ExplicitN {
-                table,
-                accept,
-                width,
-                sig_idx,
-            },
-            sigs,
-        )
     }
+    nfa.eps_closure(&moved.into_iter().collect::<Vec<_>>())
 }
 
 /// `N` as an explicit dense table over a closed signature alphabet
@@ -278,87 +499,6 @@ impl ExplicitN {
     /// Is `s ∈ S_fin`?
     pub fn is_accepting(&self, s: u32) -> bool {
         self.accept[s as usize]
-    }
-}
-
-/// The mirror automaton, determinized lazily over signature masks.
-///
-/// States are interned ε-closed subsets of the reversed triplet NFA;
-/// transitions are discovered (and memoized) as evaluation encounters
-/// `(state, signature)` pairs, so the concrete cubic alphabet of Theorem 4
-/// never has to be enumerated for evaluation.
-struct MirrorDfa {
-    nfa: Nfa<u32>,
-    inner: RefCell<MirrorInner>,
-}
-
-struct MirrorInner {
-    states: HashMap<Vec<StateId>, u32>,
-    order: Vec<Vec<StateId>>,
-    accept: Vec<bool>,
-    memo: HashMap<(u32, SigMask), u32>,
-}
-
-impl MirrorDfa {
-    fn new(nfa: Nfa<u32>) -> MirrorDfa {
-        let start = nfa.eps_closure(&[nfa.start()]);
-        let accept0 = start.iter().any(|&q| nfa.is_accepting(q));
-        MirrorDfa {
-            nfa,
-            inner: RefCell::new(MirrorInner {
-                states: HashMap::from([(start.clone(), 0)]),
-                order: vec![start],
-                accept: vec![accept0],
-                memo: HashMap::new(),
-            }),
-        }
-    }
-
-    fn start(&self) -> u32 {
-        0
-    }
-
-    fn is_accepting(&self, s: u32) -> bool {
-        self.inner.borrow().accept[s as usize]
-    }
-
-    /// One NFA-subset move by a signature (any triplet in the mask fires).
-    fn move_set(&self, cur: &[StateId], sig: SigMask) -> Vec<StateId> {
-        let mut moved = std::collections::BTreeSet::new();
-        for &q in cur {
-            for (c, t) in self.nfa.transitions(q) {
-                let fires = (0..64)
-                    .filter(|i| sig & (1 << i) != 0)
-                    .any(|i| c.contains(&(i as u32)));
-                if fires {
-                    moved.insert(*t);
-                }
-            }
-        }
-        self.nfa.eps_closure(&moved.into_iter().collect::<Vec<_>>())
-    }
-
-    fn step(&self, s: u32, sig: SigMask) -> u32 {
-        if let Some(&t) = self.inner.borrow().memo.get(&(s, sig)) {
-            return t;
-        }
-        let cur = self.inner.borrow().order[s as usize].clone();
-        let next = self.move_set(&cur, sig);
-        let mut inner = self.inner.borrow_mut();
-        let fresh = inner.order.len() as u32;
-        let tid = match inner.states.entry(next.clone()) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(fresh);
-                inner.order.push(next.clone());
-                inner
-                    .accept
-                    .push(next.iter().any(|&q| self.nfa.is_accepting(q)));
-                fresh
-            }
-        };
-        inner.memo.insert((s, sig), tid);
-        tid
     }
 }
 
@@ -429,7 +569,7 @@ mod tests {
     }
 
     #[test]
-    fn explicit_n_agrees_with_lazy() {
+    fn explicit_n_agrees_with_engine() {
         let mut ab = Alphabet::new();
         let phr = parse_phr("([a* ; b ; a*]|[ε ; a ; ε])*", &mut ab).unwrap();
         let c = CompiledPhr::compile(&phr);
@@ -461,5 +601,50 @@ mod tests {
                 "disagreement on {word:?} (alphabet {sigs:?})"
             );
         }
+    }
+
+    #[test]
+    fn n_transition_fuses_signature_and_step() {
+        // The per-node fused step must agree with signature() + n_step()
+        // on every (class, label, class, N-state) combination.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a]|[ε ; b ; a*]", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        let syms: Vec<_> = ab.syms().collect();
+        let ncl = c.classes.num_classes() as u32;
+        for s in 0..c.n_states_materialized() as u32 {
+            for c1 in 0..ncl {
+                for &a in &syms {
+                    for c2 in 0..ncl {
+                        assert_eq!(
+                            c.n_transition(s, c1, a, c2),
+                            c.n_step(s, c.signature(c1, a, c2)),
+                            "s={s} c1={c1} a={a:?} c2={c2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_step_matches_classes() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[(a|b)* a ; b ; b (a|b)*]", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        let ncl = c.classes.num_classes() as u32;
+        for q in 0..c.m.num_states() {
+            let row = c.class_step_row(q);
+            for cl in 0..ncl {
+                assert_eq!(c.class_step(cl, q), c.classes.step(cl, &q));
+                assert_eq!(row[cl as usize], c.classes.step(cl, &q));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_phr_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledPhr>();
     }
 }

@@ -1,0 +1,265 @@
+//! The compile-once / run-many contract: immutable, shareable query plans
+//! and a cache keyed by a canonical query hash.
+//!
+//! [`CompiledPhr::compile`] is exponential-time preprocessing (Section 7);
+//! evaluation is linear per hedge. The engine layer makes that split
+//! explicit: a [`Plan`] wraps a finished [`CompiledPhr`] behind an `Arc`
+//! (cloning is a reference-count bump, and the dense tables are `Sync`, so
+//! one plan can serve any number of threads), and a [`PlanCache`] hands the
+//! same plan back for every re-submission of the same query.
+//!
+//! The cache key is the *canonical form* of the PHR (its structural debug
+//! rendering, invariant under reparsing), hashed to 64 bits. Hash collisions
+//! between distinct queries are detected by comparing canonical forms and
+//! both plans are kept under the same hash bucket — a colliding query is
+//! never served another query's plan.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hedgex_hedge::{FlatHedge, NodeId};
+use hedgex_obs as obs;
+
+use crate::phr::Phr;
+use crate::phr_compile::CompiledPhr;
+use crate::two_pass::{self, EvalScratch};
+
+/// An immutable, shareable execution plan for a PHR query.
+///
+/// `Clone` is cheap (an `Arc` bump); all evaluation state lives in a
+/// caller-owned [`EvalScratch`], so one plan may be used from many threads
+/// at once.
+#[derive(Clone)]
+pub struct Plan {
+    inner: Arc<CompiledPhr>,
+}
+
+impl Plan {
+    /// Compile a PHR into a plan (the cold path; see [`PlanCache`] for the
+    /// warm one).
+    pub fn compile(phr: &Phr) -> Plan {
+        Plan::from_compiled(CompiledPhr::compile(phr))
+    }
+
+    /// Wrap an already-compiled PHR.
+    pub fn from_compiled(compiled: CompiledPhr) -> Plan {
+        Plan {
+            inner: Arc::new(compiled),
+        }
+    }
+
+    /// The underlying compiled PHR.
+    pub fn compiled(&self) -> &CompiledPhr {
+        &self.inner
+    }
+
+    /// Locate all matches, allocating fresh buffers (cold-equivalent).
+    pub fn locate(&self, h: &FlatHedge) -> Vec<NodeId> {
+        two_pass::locate(&self.inner, h)
+    }
+
+    /// Locate all matches into a reused scratch: the warm path. Returns the
+    /// matches as a borrow of the scratch.
+    pub fn locate_into<'s>(&self, h: &FlatHedge, scratch: &'s mut EvalScratch) -> &'s [NodeId] {
+        two_pass::locate_into(&self.inner, h, scratch)
+    }
+}
+
+impl std::ops::Deref for Plan {
+    type Target = CompiledPhr;
+    fn deref(&self) -> &CompiledPhr {
+        &self.inner
+    }
+}
+
+/// The canonical form of a PHR: a structural rendering that is identical
+/// for structurally identical queries regardless of how they were built.
+pub fn canonical_key(phr: &Phr) -> String {
+    format!("{phr:?}")
+}
+
+/// FNV-1a over the canonical form — the default plan hash. Deterministic
+/// across processes (unlike `std`'s randomized hasher), so hashes are
+/// stable cache keys.
+pub fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cache of compiled plans keyed by canonical query hash.
+///
+/// Each 64-bit hash owns a bucket of `(canonical form, plan)` pairs: a
+/// lookup compares canonical forms within the bucket, so two distinct
+/// queries that collide on the hash each get (and keep) their own plan —
+/// collisions cost a second compile, never a wrong answer.
+pub struct PlanCache {
+    hasher: fn(&str) -> u64,
+    buckets: HashMap<u64, Vec<(String, Plan)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache using the default FNV-1a hash.
+    pub fn new() -> PlanCache {
+        PlanCache::with_hasher(fnv1a)
+    }
+
+    /// An empty cache with a custom hash function (test hook: a degenerate
+    /// hasher forces every query into one bucket, exercising the
+    /// collision-rejection path).
+    pub fn with_hasher(hasher: fn(&str) -> u64) -> PlanCache {
+        PlanCache {
+            hasher,
+            buckets: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The plan for `phr`, compiling at most once per distinct query.
+    pub fn get_or_compile(&mut self, phr: &Phr) -> Plan {
+        let key = canonical_key(phr);
+        let hash = (self.hasher)(&key);
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some((_, plan)) = bucket.iter().find(|(k, _)| *k == key) {
+            self.hits += 1;
+            obs::counter_inc("core.plan_cache.hits");
+            return plan.clone();
+        }
+        // Miss — either a fresh hash or a genuine collision (same hash,
+        // different canonical form). Either way the new query gets its own
+        // plan appended to the bucket.
+        self.misses += 1;
+        obs::counter_inc("core.plan_cache.misses");
+        let plan = Plan::compile(phr);
+        bucket.push((key, plan.clone()));
+        plan
+    }
+
+    /// The cached plan for `phr`, if present, without compiling.
+    pub fn get(&self, phr: &Phr) -> Option<Plan> {
+        let key = canonical_key(phr);
+        let bucket = self.buckets.get(&(self.hasher)(&key))?;
+        bucket
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, plan)| plan.clone())
+    }
+
+    /// Number of distinct plans held.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phr::parse_phr;
+    use hedgex_hedge::{parse_hedge, Alphabet};
+
+    #[test]
+    fn plan_clone_shares_the_compiled_phr() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let p1 = Plan::compile(&phr);
+        let p2 = p1.clone();
+        assert!(std::ptr::eq(p1.compiled(), p2.compiled()));
+    }
+
+    #[test]
+    fn plan_locate_matches_two_pass() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap();
+        let plan = Plan::compile(&phr);
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(plan.locate(&f), vec![2]);
+        let mut scratch = EvalScratch::new();
+        assert_eq!(plan.locate_into(&f, &mut scratch), &[2]);
+    }
+
+    #[test]
+    fn cache_compiles_each_query_once() {
+        let mut ab = Alphabet::new();
+        let p1 = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let p2 = parse_phr("[ε ; b ; ε]", &mut ab).unwrap();
+        let mut cache = PlanCache::new();
+        let a1 = cache.get_or_compile(&p1);
+        let _ = cache.get_or_compile(&p2);
+        let a2 = cache.get_or_compile(&p1);
+        assert!(std::ptr::eq(a1.compiled(), a2.compiled()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn reparsed_query_hits_the_same_plan() {
+        let mut ab = Alphabet::new();
+        let once = parse_phr("[a* ; b ; a*]", &mut ab).unwrap();
+        let twice = parse_phr("[a* ; b ; a*]", &mut ab).unwrap();
+        let mut cache = PlanCache::new();
+        let p1 = cache.get_or_compile(&once);
+        let p2 = cache.get_or_compile(&twice);
+        assert!(std::ptr::eq(p1.compiled(), p2.compiled()));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hash_collisions_keep_plans_apart() {
+        // A degenerate hasher sends every query to one bucket: distinct
+        // queries must still get distinct plans and correct answers.
+        let mut ab = Alphabet::new();
+        let pa = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let pb = parse_phr("[ε ; b ; ε]", &mut ab).unwrap();
+        let mut cache = PlanCache::with_hasher(|_| 42);
+        let plan_a = cache.get_or_compile(&pa);
+        let plan_b = cache.get_or_compile(&pb);
+        assert!(!std::ptr::eq(plan_a.compiled(), plan_b.compiled()));
+        assert_eq!(cache.len(), 2);
+        // Both survive in the cache and re-resolve correctly.
+        let again_a = cache.get_or_compile(&pa);
+        let again_b = cache.get_or_compile(&pb);
+        assert!(std::ptr::eq(plan_a.compiled(), again_a.compiled()));
+        assert!(std::ptr::eq(plan_b.compiled(), again_b.compiled()));
+        // And they answer differently, proving no cross-service.
+        let fa = FlatHedge::from_hedge(&parse_hedge("a", &mut ab).unwrap());
+        let fb = FlatHedge::from_hedge(&parse_hedge("b", &mut ab).unwrap());
+        assert_eq!(plan_a.locate(&fa), vec![0]);
+        assert_eq!(plan_a.locate(&fb), Vec::<NodeId>::new());
+        assert_eq!(plan_b.locate(&fb), vec![0]);
+    }
+
+    #[test]
+    fn fnv1a_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
+        assert_ne!(fnv1a("abc"), fnv1a("abd"));
+    }
+}

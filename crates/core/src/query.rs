@@ -19,7 +19,7 @@ use hedgex_hedge::{FlatHedge, NodeId, PointedHedge};
 use hedgex_obs as obs;
 
 use crate::hre::Hre;
-use crate::mark_down::{compile_to_dha, mark_run};
+use crate::mark_down::{compile_to_dha, mark_run_into};
 use crate::phr::Phr;
 use crate::phr_compile::CompiledPhr;
 use crate::two_pass;
@@ -67,18 +67,53 @@ pub struct CompiledSelect {
     pub phr: CompiledPhr,
 }
 
+/// Reusable buffers for [`CompiledSelect::locate_into`]: the mark run, the
+/// two-traversal evaluation, and the final match list all write into the
+/// same recycled memory across documents.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    down: hedgex_ha::EvalScratch,
+    marks: Vec<bool>,
+    phr: two_pass::EvalScratch,
+    located: Vec<NodeId>,
+}
+
+impl SelectScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> SelectScratch {
+        SelectScratch::default()
+    }
+
+    /// The match list of the most recent [`CompiledSelect::locate_into`].
+    pub fn located(&self) -> &[NodeId] {
+        &self.located
+    }
+}
+
 impl CompiledSelect {
     /// Locate all matches: the subhedge marks intersected with the
     /// envelope matches, in document order. Linear in the node count.
     pub fn locate(&self, h: &FlatHedge) -> Vec<NodeId> {
+        let mut scratch = SelectScratch::new();
+        self.locate_into(h, &mut scratch);
+        scratch.located
+    }
+
+    /// [`CompiledSelect::locate`] into a reused [`SelectScratch`] — the
+    /// warm path for serving many documents from one compiled query.
+    pub fn locate_into<'s>(&self, h: &FlatHedge, scratch: &'s mut SelectScratch) -> &'s [NodeId] {
         let _span = obs::span("core.query.locate");
-        let marks = mark_run(&self.down, h);
-        let located: Vec<NodeId> = two_pass::locate(&self.phr, h)
-            .into_iter()
-            .filter(|&n| marks[n as usize])
-            .collect();
-        obs::counter_add("core.query.located", located.len() as u64);
-        located
+        mark_run_into(&self.down, h, &mut scratch.down, &mut scratch.marks);
+        let envelope = two_pass::locate_into(&self.phr, h, &mut scratch.phr);
+        scratch.located.clear();
+        scratch.located.extend(
+            envelope
+                .iter()
+                .copied()
+                .filter(|&n| scratch.marks[n as usize]),
+        );
+        obs::counter_add("core.query.located", scratch.located.len() as u64);
+        &scratch.located
     }
 }
 

@@ -19,6 +19,11 @@
 //! `Γ = (elder class, label, younger class)`. A node is located iff its
 //! `N`-state is final — the decomposition of its envelope, read top-down,
 //! spells a mirror-word of `L`.
+//!
+//! All per-node steps go through [`CompiledPhr`]'s dense tables
+//! (`class_step`, `class_step_row`, `n_transition`) — no hashing — and the
+//! `_into` variants write into a caller-owned [`EvalScratch`] so warm runs
+//! allocate nothing per node.
 
 use hedgex_ha::HState;
 use hedgex_hedge::flat::FlatLabel;
@@ -38,58 +43,136 @@ pub struct FirstPass {
     pub younger_class: Vec<u32>,
 }
 
+/// Reusable buffers for the whole two-traversal evaluation. Allocate once
+/// (or take one from a [`crate::plan::Plan`] workflow), then every
+/// [`locate_into`] call recycles the same memory: per-node cost is table
+/// steps only, with buffer growth amortized across documents.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// `M`-run buffer (the bottom-up state pass).
+    ha: hedgex_ha::EvalScratch,
+    elder_class: Vec<u32>,
+    younger_class: Vec<u32>,
+    /// Double-buffered suffix transition functions (class-indexed).
+    f: Vec<u32>,
+    nf: Vec<u32>,
+    /// Current sibling group (children are singly linked, and the suffix
+    /// pass reads them right-to-left, so they are buffered per group).
+    group: Vec<NodeId>,
+    /// `N`-state per node (second traversal).
+    n_state: Vec<u32>,
+    /// Matches of the most recent run.
+    located: Vec<NodeId>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// The matches found by the most recent [`locate_into`] call.
+    pub fn located(&self) -> &[NodeId] {
+        &self.located
+    }
+}
+
 /// Run the first traversal.
 pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
+    let states = phr.m.run(h);
+    let mut elder_class = Vec::new();
+    let mut younger_class = Vec::new();
+    let mut f = Vec::new();
+    let mut nf = Vec::new();
+    let mut group = Vec::new();
+    first_pass_core(
+        phr,
+        h,
+        &states,
+        &mut elder_class,
+        &mut younger_class,
+        &mut f,
+        &mut nf,
+        &mut group,
+    );
+    FirstPass {
+        states,
+        elder_class,
+        younger_class,
+    }
+}
+
+/// The class computation of the first traversal, over already-computed
+/// `M`-states, writing into caller-owned buffers.
+#[allow(clippy::too_many_arguments)] // the buffers ARE the interface
+fn first_pass_core(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    states: &[HState],
+    elder_class: &mut Vec<u32>,
+    younger_class: &mut Vec<u32>,
+    f: &mut Vec<u32>,
+    nf: &mut Vec<u32>,
+    group: &mut Vec<NodeId>,
+) {
     let _span = obs::span("core.two_pass.first");
     let n = h.num_nodes();
-    let states = phr.m.run(h);
     let ncl = phr.classes.num_classes();
     let start = phr.classes.start();
-    let mut elder_class = vec![start; n];
-    let mut younger_class = vec![start; n];
+    elder_class.clear();
+    elder_class.resize(n, start);
+    younger_class.clear();
+    younger_class.resize(n, start);
 
     // Local tallies, flushed once below — the traversal itself stays free
     // of registry traffic.
     let mut groups = 0u64;
     let mut max_group = 0u64;
 
-    // Process every sibling group: the roots, and each node's children.
-    // Scoped so the closure's borrow of the tallies ends before the flush.
-    {
-        let mut group: Vec<NodeId> = Vec::new();
-        let mut process =
-            |group: &[NodeId], elder_class: &mut Vec<u32>, younger_class: &mut Vec<u32>| {
-                groups += 1;
-                max_group = max_group.max(group.len() as u64);
-                // Prefix classes, left to right.
-                let mut c = start;
-                for &id in group {
-                    elder_class[id as usize] = c;
-                    c = phr.classes.step(c, &states[id as usize]);
-                }
-                // Suffix classes, right to left, by transition-function composition.
-                // f maps "class before reading the suffix" → "class after".
-                let mut f: Vec<u32> = (0..ncl as u32).collect(); // identity
-                for &id in group.iter().rev() {
-                    younger_class[id as usize] = f[start as usize];
-                    // f := f ∘ δ_q  (read q first, then the old suffix).
-                    let delta = phr.classes.step_fn(&states[id as usize]);
-                    let mut nf = vec![0u32; ncl];
-                    for cls in 0..ncl {
-                        nf[cls] = f[delta[cls] as usize];
-                    }
-                    f = nf;
-                }
-            };
+    let mut process = |group: &[NodeId], elder_class: &mut [u32], younger_class: &mut [u32]| {
+        groups += 1;
+        max_group = max_group.max(group.len() as u64);
+        // Prefix classes, left to right.
+        let mut c = start;
+        for &id in group {
+            elder_class[id as usize] = c;
+            c = phr.class_step(c, states[id as usize]);
+        }
+        // Suffix classes, right to left, by transition-function composition.
+        // f maps "class before reading the suffix" → "class after". The
+        // f/nf pair lives outside the per-node loop and swaps each step:
+        // each of the |group| compositions costs exactly |Q*/≡| table reads
+        // into an already-allocated buffer, which is what keeps the whole
+        // traversal linear — O(nodes · |Q*/≡|) with zero per-node
+        // allocation, instead of a fresh table per node.
+        f.clear();
+        f.extend(0..ncl as u32); // identity
+        nf.clear();
+        nf.resize(ncl, 0);
+        for &id in group.iter().rev() {
+            younger_class[id as usize] = f[start as usize];
+            // f := f ∘ δ_q  (read q first, then the old suffix).
+            let delta = phr.class_step_row(states[id as usize]);
+            for cls in 0..ncl {
+                nf[cls] = f[delta[cls] as usize];
+            }
+            std::mem::swap(f, nf);
+        }
+    };
 
-        process(h.roots(), &mut elder_class, &mut younger_class);
-        for id in h.preorder() {
-            if matches!(h.label(id), FlatLabel::Sym(_)) {
-                group.clear();
-                group.extend(h.children(id));
-                if !group.is_empty() {
-                    process(&group, &mut elder_class, &mut younger_class);
-                }
+    process(h.roots(), elder_class, younger_class);
+    for id in h.preorder() {
+        if matches!(h.label(id), FlatLabel::Sym(_)) {
+            // Collect the children by walking the sibling links into the
+            // reused buffer (h.children() would allocate a Vec per node).
+            group.clear();
+            let mut c = h.first_child(id);
+            while let Some(cid) = c {
+                group.push(cid);
+                c = h.next_sibling(cid);
+            }
+            if !group.is_empty() {
+                process(group, elder_class, younger_class);
             }
         }
     }
@@ -98,21 +181,38 @@ pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
     obs::counter_add("core.two_pass.first.groups", groups);
     obs::counter_add("core.two_pass.first.classes", ncl as u64);
     obs::histogram_record("core.two_pass.group_size", max_group);
-
-    FirstPass {
-        states,
-        elder_class,
-        younger_class,
-    }
 }
 
 /// Run the second traversal over a finished [`FirstPass`]: step the mirror
 /// automaton `N` top-down and collect every node whose `N`-state is final.
 pub fn second_pass(phr: &CompiledPhr, h: &FlatHedge, fp: &FirstPass) -> Vec<NodeId> {
-    let _span = obs::span("core.two_pass.second");
+    let mut n_state = Vec::new();
     let mut located = Vec::new();
-    // Second traversal: top-down, tracking each Σ-node's N-state.
-    let mut n_state: Vec<u32> = vec![0; h.num_nodes()];
+    second_pass_core(
+        phr,
+        h,
+        &fp.elder_class,
+        &fp.younger_class,
+        &mut n_state,
+        &mut located,
+    );
+    located
+}
+
+/// The top-down traversal, writing into caller-owned buffers. Every node
+/// costs one fused [`CompiledPhr::n_transition`] table step.
+fn second_pass_core(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    elder_class: &[u32],
+    younger_class: &[u32],
+    n_state: &mut Vec<u32>,
+    located: &mut Vec<NodeId>,
+) {
+    let _span = obs::span("core.two_pass.second");
+    located.clear();
+    n_state.clear();
+    n_state.resize(h.num_nodes(), 0);
     for id in h.preorder() {
         let FlatLabel::Sym(a) = h.label(id) else {
             continue;
@@ -121,27 +221,57 @@ pub fn second_pass(phr: &CompiledPhr, h: &FlatHedge, fp: &FirstPass) -> Vec<Node
             None => phr.n_start(),
             Some(p) => n_state[p as usize],
         };
-        let sig = phr.signature(
-            fp.elder_class[id as usize],
+        let s = phr.n_transition(
+            parent_state,
+            elder_class[id as usize],
             a,
-            fp.younger_class[id as usize],
+            younger_class[id as usize],
         );
-        let s = phr.n_step(parent_state, sig);
         n_state[id as usize] = s;
         if phr.n_accepting(s) {
             located.push(id);
         }
     }
     obs::counter_add("core.two_pass.located", located.len() as u64);
-    located
 }
 
 /// Run both traversals: every node whose envelope matches the PHR, in
 /// document order (Theorem 4 + Algorithm 1).
 pub fn locate(phr: &CompiledPhr, h: &FlatHedge) -> Vec<NodeId> {
+    let mut scratch = EvalScratch::new();
+    locate_into(phr, h, &mut scratch);
+    scratch.located
+}
+
+/// Run both traversals into a caller-owned [`EvalScratch`], returning the
+/// located nodes as a borrow of the scratch. The warm path: with a reused
+/// scratch, evaluation performs no per-node heap allocation.
+pub fn locate_into<'s>(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    scratch: &'s mut EvalScratch,
+) -> &'s [NodeId] {
     let _span = obs::span("core.two_pass");
-    let fp = first_pass(phr, h);
-    second_pass(phr, h, &fp)
+    phr.m.run_into(h, &mut scratch.ha);
+    first_pass_core(
+        phr,
+        h,
+        scratch.ha.states(),
+        &mut scratch.elder_class,
+        &mut scratch.younger_class,
+        &mut scratch.f,
+        &mut scratch.nf,
+        &mut scratch.group,
+    );
+    second_pass_core(
+        phr,
+        h,
+        &scratch.elder_class,
+        &scratch.younger_class,
+        &mut scratch.n_state,
+        &mut scratch.located,
+    );
+    &scratch.located
 }
 
 #[cfg(test)]
@@ -159,11 +289,16 @@ mod tests {
         let compiled = CompiledPhr::compile(&phr);
         let syms: Vec<_> = ab.syms().collect();
         let vars: Vec<_> = ab.vars().collect();
+        // One scratch across the whole enumeration: the warm path must
+        // agree with the allocating one on every hedge.
+        let mut scratch = EvalScratch::new();
         for h in enumerate_hedges(&syms, &vars, max_nodes) {
             let f = FlatHedge::from_hedge(&h);
             let fast = locate(&compiled, &f);
             let slow = phr.locate_naive(&f);
             assert_eq!(fast, slow, "{phr_src} disagrees on {h:?}");
+            let warm = locate_into(&compiled, &f, &mut scratch);
+            assert_eq!(warm, &slow[..], "{phr_src} warm path disagrees on {h:?}");
         }
     }
 
@@ -264,5 +399,22 @@ mod tests {
         let f = FlatHedge::from_hedge(&h);
         let located = locate(&compiled, &f);
         assert_eq!(located.len(), 41, "every b on the spine is located");
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_documents_of_different_sizes() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a*]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let mut scratch = EvalScratch::new();
+        // Big, then small, then big again: stale buffer contents from a
+        // larger document must not leak into a smaller one.
+        for src in ["a a b a", "b", "a b a b a b"] {
+            let h = parse_hedge(src, &mut ab).unwrap();
+            let f = FlatHedge::from_hedge(&h);
+            let warm: Vec<_> = locate_into(&compiled, &f, &mut scratch).to_vec();
+            assert_eq!(warm, locate(&compiled, &f), "on {src}");
+            assert_eq!(scratch.located(), &warm[..]);
+        }
     }
 }

@@ -133,12 +133,11 @@ pub fn determinize(nha: &Nha) -> Determinized {
                 max_frontier = max_frontier.max(seen.len() as u64);
                 let res = comb.results(&cur);
                 intern(res, &mut subsets);
-                // Iterate over a snapshot of known subsets; new ones found
-                // this round are picked up by the outer fixpoint.
-                let snapshot = subsets.len();
-                #[allow(clippy::needless_range_loop)] // interning mutates the indexed vec
-                for i in 0..snapshot {
-                    let next = comb.step(&cur, &subsets[i].clone());
+                // Read every currently-known subset; ones interned later in
+                // this BFS are picked up by the outer fixpoint. Nothing
+                // mutates `subsets` inside this loop, so no snapshot copy.
+                for subset in &subsets {
+                    let next = comb.step(&cur, subset);
                     if seen.insert(next.clone()) {
                         work.push(next);
                     }
@@ -206,7 +205,10 @@ fn lift_to_dfa(
     let start = intern(comb.initial(), &mut order, &mut work);
     let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::new();
     while let Some(id) = work.pop() {
-        let cur = order[id as usize].clone();
+        // Take `cur` out instead of cloning: `intern` may push to `order`
+        // below, and `ids` (not `order`) is what deduplicates, so the
+        // temporarily-empty slot cannot be re-interned. Restored at the end.
+        let cur = std::mem::take(&mut order[id as usize]);
         // Group subset-symbols by target lifted state.
         let mut by_target: BTreeMap<Vec<(StateId, Vec<StateId>)>, Vec<HState>> = BTreeMap::new();
         let mut targets: HashMap<HState, Lifted> = HashMap::new();
@@ -224,7 +226,9 @@ fn lift_to_dfa(
         let mut edges: Vec<(CharClass<HState>, StateId)> = Vec::new();
         let mut covered: BTreeSet<HState> = BTreeSet::new();
         for (_, syms) in by_target {
-            let tgt = targets[&syms[0]].clone();
+            // Each subset-symbol lands in exactly one group, so its target
+            // can be moved out rather than cloned.
+            let tgt = targets.remove(&syms[0]).expect("every symbol has a target");
             let tid = intern(tgt, &mut order, &mut work);
             covered.extend(syms.iter().copied());
             edges.push((CharClass::of(syms), tid));
@@ -237,6 +241,7 @@ fn lift_to_dfa(
             trans.resize(order.len(), Vec::new());
         }
         trans[id as usize] = edges;
+        order[id as usize] = cur;
     }
     if trans.len() < order.len() {
         trans.resize(order.len(), Vec::new());
@@ -269,7 +274,9 @@ fn lift_finals(nha: &Nha, subsets: &[BTreeSet<HState>]) -> Dfa<HState> {
     let start = intern(f.eps_closure(&[f.start()]), &mut order, &mut work);
     let mut trans: Vec<Vec<(CharClass<HState>, StateId)>> = Vec::new();
     while let Some(id) = work.pop() {
-        let cur = order[id as usize].clone();
+        // Same take-and-restore as `lift_to_dfa`: `ids` deduplicates, so the
+        // emptied slot is never re-interned while we hold its contents.
+        let cur = std::mem::take(&mut order[id as usize]);
         let mut by_target: BTreeMap<Vec<StateId>, Vec<HState>> = BTreeMap::new();
         for (i, subset) in subsets.iter().enumerate() {
             let mut moved: BTreeSet<StateId> = BTreeSet::new();
@@ -296,6 +303,7 @@ fn lift_finals(nha: &Nha, subsets: &[BTreeSet<HState>]) -> Dfa<HState> {
             trans.resize(order.len(), Vec::new());
         }
         trans[id as usize] = edges;
+        order[id as usize] = cur;
     }
     if trans.len() < order.len() {
         trans.resize(order.len(), Vec::new());

@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use hedgex_automata::{Dfa, Nfa, Regex, SaturatingClasses};
-use hedgex_hedge::{FlatHedge, Hedge, SymId, Tree};
+use hedgex_automata::{DenseDfa, Dfa, Nfa, Regex, SaturatingClasses};
+use hedgex_hedge::{FlatHedge, Hedge, SubId, SymId, Tree};
 
 use crate::types::{HState, Leaf};
 
@@ -153,14 +153,65 @@ impl HorizFn {
     }
 }
 
+/// Reusable buffers for [`Dha::run_into`]: one state slot per node,
+/// allocated once and recycled across runs so warm evaluation performs no
+/// heap allocation per node (growth is amortized across documents).
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    states: Vec<HState>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Pre-size for documents of up to `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> EvalScratch {
+        EvalScratch {
+            states: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// The states written by the most recent [`Dha::run_into`].
+    pub fn states(&self) -> &[HState] {
+        &self.states
+    }
+}
+
 /// A deterministic hedge automaton `(Σ, X, Q, ι, α, F)`.
+///
+/// Dispatch is **dense**: `α` is a `SymId`-indexed table of [`HorizFn`]s and
+/// `ι` a pair of `VarId`/`SubId`-indexed state tables (the interned alphabet
+/// hands out dense `u32` ids, so tables are sized up front from the largest
+/// declared id — see `hedgex_hedge::Alphabet::sizes`). The per-node
+/// execution loop therefore performs no hashing: every lookup is a bounds
+/// check plus an array index, and out-of-range ids take the sink, exactly
+/// like the previous `HashMap` miss path.
 #[derive(Debug, Clone)]
 pub struct Dha {
     num_states: u32,
     sink: HState,
-    iota: HashMap<Leaf, HState>,
-    horiz: HashMap<SymId, HorizFn>,
+    /// `ι` over variable leaves, indexed by `VarId`; out-of-range → sink.
+    iota_var: Vec<HState>,
+    /// `ι` over substitution-symbol leaves, indexed by `SubId`.
+    iota_sub: Vec<HState>,
+    /// `ι(η)` — the reserved `SubId::ETA` is `u32::MAX` and stays out of
+    /// the dense table.
+    iota_eta: HState,
+    /// The declared leaf set, sorted (the dense tables cannot distinguish
+    /// "undeclared" from "declared = sink").
+    declared_leaves: Vec<Leaf>,
+    /// `α` dispatch, indexed by `SymId`; `None` for undeclared symbols.
+    horiz: Vec<Option<HorizFn>>,
+    /// The declared symbol set, sorted.
+    declared_syms: Vec<SymId>,
     finals: Dfa<HState>,
+    /// `F` compiled against the concrete state alphabet `0..|Q|`: the
+    /// executor backend for acceptance (the symbolic [`Dfa`] is kept for
+    /// constructions that rewrite `F`).
+    finals_dense: DenseDfa<HState>,
 }
 
 impl Dha {
@@ -175,13 +226,27 @@ impl Dha {
     }
 
     /// `ι` on a leaf label (sink when undefined).
+    #[inline]
     pub fn iota(&self, leaf: Leaf) -> HState {
-        self.iota.get(&leaf).copied().unwrap_or(self.sink)
+        match leaf {
+            Leaf::Var(x) => self
+                .iota_var
+                .get(x.0 as usize)
+                .copied()
+                .unwrap_or(self.sink),
+            Leaf::Sub(SubId::ETA) => self.iota_eta,
+            Leaf::Sub(z) => self
+                .iota_sub
+                .get(z.0 as usize)
+                .copied()
+                .unwrap_or(self.sink),
+        }
     }
 
     /// The horizontal function of a symbol, if any rules were declared.
+    #[inline]
     pub fn horiz(&self, a: SymId) -> Option<&HorizFn> {
-        self.horiz.get(&a)
+        self.horiz.get(a.0 as usize).and_then(Option::as_ref)
     }
 
     /// The final state sequence set `F` as a DFA over `Q`.
@@ -189,41 +254,65 @@ impl Dha {
         &self.finals
     }
 
-    /// All symbols with declared horizontal rules.
-    pub fn symbols(&self) -> impl Iterator<Item = SymId> + '_ {
-        self.horiz.keys().copied()
+    /// `F` compiled against the concrete state alphabet `0..|Q|` — the
+    /// executor form. Because the alphabet is the identity, a state doubles
+    /// as its own column index: step with `step_idx(s, q as usize)`.
+    pub fn finals_dense(&self) -> &DenseDfa<HState> {
+        &self.finals_dense
     }
 
-    /// All leaf labels with a declared `ι` value.
+    /// All symbols with declared horizontal rules, in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = SymId> + '_ {
+        self.declared_syms.iter().copied()
+    }
+
+    /// All leaf labels with a declared `ι` value, in sorted order.
     pub fn leaves(&self) -> impl Iterator<Item = Leaf> + '_ {
-        self.iota.keys().copied()
+        self.declared_leaves.iter().copied()
     }
 
     /// Replace the final state sequence set (used when deriving automata
     /// that share `(Q, ι, α)` but differ in `F`, as in Theorem 4).
     pub fn with_finals(mut self, finals: Dfa<HState>) -> Dha {
+        let alphabet: Vec<HState> = (0..self.num_states).collect();
+        self.finals_dense = DenseDfa::compile(&finals, &alphabet);
         self.finals = finals;
         self
     }
 
     /// `α(a, w)` for an explicit word (sink for undeclared symbols).
     pub fn alpha(&self, a: SymId, word: &[HState]) -> HState {
-        match self.horiz.get(&a) {
+        match self.horiz(a) {
             Some(h) => h.eval(word.iter().copied()),
             None => self.sink,
         }
     }
 
-    /// The computation `M‖u` on a flat hedge: the state of every node,
-    /// indexed by [`hedgex_hedge::NodeId`]. Linear in the number of nodes
-    /// (Definition 4 evaluated bottom-up).
+    /// The computation `M‖u`, written into caller-owned buffers: the state
+    /// of every node, indexed by [`hedgex_hedge::NodeId`]. Linear in the
+    /// number of nodes (Definition 4 evaluated bottom-up), and — past the
+    /// first run on the largest document — allocation-free.
+    pub fn run_into<'s>(&self, h: &FlatHedge, scratch: &'s mut EvalScratch) -> &'s [HState] {
+        self.run_core(h, &mut scratch.states);
+        &scratch.states
+    }
+
+    /// The computation `M‖u` as a fresh vector (see [`Dha::run_into`] for
+    /// the reusable-buffer variant).
     pub fn run(&self, h: &FlatHedge) -> Vec<HState> {
+        let mut states = Vec::new();
+        self.run_core(h, &mut states);
+        states
+    }
+
+    fn run_core(&self, h: &FlatHedge, states: &mut Vec<HState>) {
         use hedgex_hedge::flat::FlatLabel;
         let n = h.num_nodes();
         // One bulk add per run keeps the per-node loop untouched.
         hedgex_obs::counter_add("ha.dha.run_nodes", n as u64);
         hedgex_obs::counter_inc("ha.dha.runs");
-        let mut states = vec![self.sink; n];
+        states.clear();
+        states.resize(n, self.sink);
         // Preorder ids: children have larger ids than their parent, so a
         // reverse scan sees every child before its parent.
         for id in (0..n as u32).rev() {
@@ -231,7 +320,7 @@ impl Dha {
                 FlatLabel::Var(x) => states[id as usize] = self.iota(Leaf::Var(x)),
                 FlatLabel::Subst(z) => states[id as usize] = self.iota(Leaf::Sub(z)),
                 FlatLabel::Sym(a) => {
-                    states[id as usize] = match self.horiz.get(&a) {
+                    states[id as usize] = match self.horiz(a) {
                         None => self.sink,
                         Some(hf) => {
                             let mut hs = hf.start();
@@ -246,7 +335,6 @@ impl Dha {
                 }
             }
         }
-        states
     }
 
     /// The ceil of the computation: states of the top-level nodes.
@@ -255,9 +343,17 @@ impl Dha {
         h.roots().iter().map(|&r| states[r as usize]).collect()
     }
 
-    /// Acceptance (Definition 5): is `⌈M‖u⌉ ∈ F`?
+    /// Acceptance (Definition 5): is `⌈M‖u⌉ ∈ F`? Steps the dense-compiled
+    /// `F` directly over the root states — no intermediate ceil vector.
     pub fn accepts_flat(&self, h: &FlatHedge) -> bool {
-        self.finals.accepts(&self.run_ceil(h))
+        let states = self.run(h);
+        let mut q = self.finals_dense.start();
+        for &r in h.roots() {
+            // Root states are always < |Q|, and the dense alphabet is the
+            // identity 0..|Q|, so the state doubles as its column index.
+            q = self.finals_dense.step_idx(q, states[r as usize] as usize);
+        }
+        self.finals_dense.is_accepting(q)
     }
 
     /// Acceptance on a recursive hedge.
@@ -278,7 +374,9 @@ impl Dha {
     }
 
     /// Build directly from parts (used by determinization, products, and
-    /// the marking constructions of Theorems 3 and 5).
+    /// the marking constructions of Theorems 3 and 5). Construction sites
+    /// hand over sparse maps; the dense dispatch tables are laid out here,
+    /// once, sized by the largest declared id.
     pub fn from_parts(
         num_states: u32,
         sink: HState,
@@ -286,12 +384,51 @@ impl Dha {
         horiz: HashMap<SymId, HorizFn>,
         finals: Dfa<HState>,
     ) -> Dha {
+        let mut iota_var = Vec::new();
+        let mut iota_sub = Vec::new();
+        let mut iota_eta = sink;
+        let mut declared_leaves: Vec<Leaf> = iota.keys().copied().collect();
+        declared_leaves.sort_unstable();
+        for (leaf, q) in iota {
+            match leaf {
+                Leaf::Var(x) => {
+                    let i = x.0 as usize;
+                    if iota_var.len() <= i {
+                        iota_var.resize(i + 1, sink);
+                    }
+                    iota_var[i] = q;
+                }
+                Leaf::Sub(SubId::ETA) => iota_eta = q,
+                Leaf::Sub(z) => {
+                    let i = z.0 as usize;
+                    if iota_sub.len() <= i {
+                        iota_sub.resize(i + 1, sink);
+                    }
+                    iota_sub[i] = q;
+                }
+            }
+        }
+        let mut declared_syms: Vec<SymId> = horiz.keys().copied().collect();
+        declared_syms.sort_unstable();
+        let width = declared_syms.last().map_or(0, |a| a.0 as usize + 1);
+        let mut horiz_dense: Vec<Option<HorizFn>> = Vec::with_capacity(width);
+        horiz_dense.resize_with(width, || None);
+        for (a, hf) in horiz {
+            horiz_dense[a.0 as usize] = Some(hf);
+        }
+        let alphabet: Vec<HState> = (0..num_states).collect();
+        let finals_dense = DenseDfa::compile(&finals, &alphabet);
         Dha {
             num_states,
             sink,
-            iota,
-            horiz,
+            iota_var,
+            iota_sub,
+            iota_eta,
+            declared_leaves,
+            horiz: horiz_dense,
+            declared_syms,
             finals,
+            finals_dense,
         }
     }
 }
@@ -347,15 +484,14 @@ impl DhaBuilder {
             .into_iter()
             .map(|(a, rules)| (a, HorizFn::from_rules(&rules, self.num_states, self.sink)))
             .collect();
-        Dha {
-            num_states: self.num_states,
-            sink: self.sink,
-            iota: self.iota,
+        Dha::from_parts(
+            self.num_states,
+            self.sink,
+            self.iota,
             horiz,
-            finals: self
-                .finals
+            self.finals
                 .unwrap_or_else(|| Nfa::from_regex(&Regex::Empty).to_dfa()),
-        }
+        )
     }
 }
 

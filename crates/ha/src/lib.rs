@@ -20,6 +20,8 @@
 //! exhaustive small-hedge enumerator for language-equality testing, and the
 //! paper's own worked examples `M₀`/`M₁` ([`paper`]).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod determinize;
 pub mod dha;
@@ -32,7 +34,7 @@ pub mod product;
 pub mod types;
 
 pub use determinize::determinize;
-pub use dha::{Dha, DhaBuilder, HorizFn};
+pub use dha::{Dha, DhaBuilder, EvalScratch, HorizFn};
 pub use enumerate::enumerate_hedges;
 pub use nha::{Nha, NhaBuilder};
 pub use types::{HState, Leaf};

@@ -22,6 +22,8 @@
 //! * a compact text syntax (`d<p<$x> p<$y>>`) with parser and printer, and
 //! * seeded random generators for property tests and benchmark workloads.
 
+#![forbid(unsafe_code)]
+
 pub mod flat;
 pub mod gen;
 pub mod hedge;
@@ -33,5 +35,5 @@ pub use flat::{FlatHedge, NodeId};
 pub use gen::{GenConfig, HedgeGen};
 pub use hedge::{Hedge, Tree};
 pub use pointed::{PointedBaseHedge, PointedHedge};
-pub use symbols::{Alphabet, SubId, SymId, VarId};
+pub use symbols::{Alphabet, NamespaceSizes, SubId, SymId, VarId};
 pub use text::{parse_hedge, print_hedge, ParseError};

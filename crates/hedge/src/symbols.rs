@@ -63,6 +63,23 @@ impl std::fmt::Display for SubId {
     }
 }
 
+/// The sizes of the three interned name spaces, as one value.
+///
+/// Execution engines size their dense dispatch tables up front from these
+/// counts: every `SymId`/`VarId`/`SubId` an `Alphabet` has handed out is a
+/// dense index strictly below the corresponding field, so a table of that
+/// length covers the whole namespace without hashing or bounds growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NamespaceSizes {
+    /// Number of interned Σ symbols (exclusive upper bound on `SymId`).
+    pub syms: usize,
+    /// Number of interned variables (exclusive upper bound on `VarId`).
+    pub vars: usize,
+    /// Number of interned substitution symbols (exclusive upper bound on
+    /// `SubId`, not counting the reserved `η`).
+    pub subs: usize,
+}
+
 /// Shared interner for the three name spaces.
 #[derive(Debug, Default, Clone)]
 pub struct Alphabet {
@@ -177,6 +194,16 @@ impl Alphabet {
         }
     }
 
+    /// All three namespace sizes at once, for sizing dense id-indexed
+    /// tables up front (see [`NamespaceSizes`]).
+    pub fn sizes(&self) -> NamespaceSizes {
+        NamespaceSizes {
+            syms: self.syms.len(),
+            vars: self.vars.len(),
+            subs: self.subs.len(),
+        }
+    }
+
     /// Number of interned Σ symbols.
     pub fn num_syms(&self) -> usize {
         self.syms.len()
@@ -256,6 +283,29 @@ mod tests {
         assert_eq!(z.0, 0);
         assert_eq!(ab.sym_name(s), ab.var_name(v));
         assert_eq!(ab.num_syms() + ab.num_vars() + ab.num_subs(), 3);
+    }
+
+    #[test]
+    fn sizes_bound_every_handed_out_id() {
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let b = ab.sym("b");
+        let x = ab.var("x");
+        let z = ab.sub("z");
+        let s = ab.sizes();
+        assert_eq!(
+            s,
+            NamespaceSizes {
+                syms: 2,
+                vars: 1,
+                subs: 1
+            }
+        );
+        for id in [a.0, b.0] {
+            assert!((id as usize) < s.syms);
+        }
+        assert!((x.0 as usize) < s.vars);
+        assert!((z.0 as usize) < s.subs);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use hedgex::prelude::*;
 use hedgex::ExplainReport;
@@ -28,6 +29,7 @@ struct Args {
     keep_attrs: bool,
     explain: bool,
     metrics_json: Option<String>,
+    repeat: Option<u64>,
     file: Option<String>,
 }
 
@@ -44,6 +46,8 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
   --explain            print a per-phase pipeline report (automaton sizes,
                        timings, match counts) to stderr
   --metrics-json PATH  write the explain report as JSON to PATH
+  --repeat N           evaluate the query N times reusing one compiled plan
+                       and one scratch; print aggregate wall time to stderr
   -h, --help           show this help
   FILE                 an XML file, or '-' for stdin";
 
@@ -61,6 +65,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         keep_attrs: false,
         explain: false,
         metrics_json: None,
+        repeat: None,
         file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +82,17 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--attrs" => out.keep_attrs = true,
             "--explain" => out.explain = true,
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
+            "--repeat" => {
+                let n = value("--repeat")?;
+                match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => out.repeat = Some(n),
+                    _ => {
+                        return Err(usage_error(&format!(
+                            "option '--repeat' needs a positive integer, got '{n}'"
+                        )))
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 return Err(ExitCode::SUCCESS);
@@ -123,6 +139,45 @@ fn print_report(report: &ExplainReport) {
     eprintln!("  nodes {}, located {}", report.nodes, report.located);
 }
 
+/// `--repeat N`: compile the query once, then evaluate it `n` times into
+/// one reused scratch (the warm plan path). Prints the aggregate wall time
+/// of the evaluation loop — compilation excluded — to stderr.
+fn locate_repeated(
+    phr: &hedgex::core::Phr,
+    subhedge: Option<&hedgex::core::Hre>,
+    flat: &FlatHedge,
+    n: u64,
+) -> Vec<u32> {
+    let (hits, wall) = if let Some(e) = subhedge {
+        let compiled = SelectQuery {
+            subhedge: e.clone(),
+            envelope: phr.clone(),
+        }
+        .compile();
+        let mut scratch = SelectScratch::new();
+        let t = Instant::now();
+        for _ in 0..n {
+            compiled.locate_into(flat, &mut scratch);
+        }
+        (scratch.located().to_vec(), t.elapsed())
+    } else {
+        let plan = Plan::compile(phr);
+        let mut scratch = EvalScratch::new();
+        let t = Instant::now();
+        for _ in 0..n {
+            plan.locate_into(flat, &mut scratch);
+        }
+        (scratch.located().to_vec(), t.elapsed())
+    };
+    let total_ms = wall.as_secs_f64() * 1e3;
+    let nodes_per_s = (flat.num_nodes() as u64 * n) as f64 / wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "repeat: {n} runs in {total_ms:.3} ms ({:.3} ms/run, {nodes_per_s:.0} nodes/s)",
+        total_ms / n as f64
+    );
+    hits
+}
+
 fn run(args: Args) -> Result<(), String> {
     let src = match args.file.as_deref() {
         Some("-") => {
@@ -155,6 +210,8 @@ fn run(args: Args) -> Result<(), String> {
         .transpose()?;
 
     let want_report = args.explain || args.metrics_json.is_some();
+    // Reports and repeated runs both need the query as a PHR plan.
+    let want_phr = want_report || args.repeat.is_some();
 
     // Envelope condition (and, through explain, the subhedge filter).
     let (hits, report): (Vec<u32>, Option<ExplainReport>) = {
@@ -162,7 +219,7 @@ fn run(args: Args) -> Result<(), String> {
         // embedding (universal sibling conditions).
         let phr = if let Some(p) = &args.phr {
             Some(parse_phr(p, &mut ab).map_err(|e| e.to_string())?)
-        } else if want_report {
+        } else if want_phr {
             let path = parse_path(args.path.as_deref().expect("validated"), &mut ab)
                 .map_err(|e| e.to_string())?;
             let syms: Vec<_> = ab.syms().collect();
@@ -173,19 +230,23 @@ fn run(args: Args) -> Result<(), String> {
             None
         };
         match phr {
-            Some(phr) if want_report => {
-                let report = hedgex::explain(&phr, subhedge.as_ref(), &flat);
-                (report.hits.clone(), Some(report))
-            }
             Some(phr) => {
-                let compiled = CompiledPhr::compile(&phr);
-                let mut hits = two_pass::locate(&compiled, &flat);
-                if let Some(e) = &subhedge {
-                    let dha = hedgex::core::mark_down::compile_to_dha(e);
-                    let marks = hedgex::core::mark_run(&dha, &flat);
-                    hits.retain(|&n| marks[n as usize]);
-                }
-                (hits, None)
+                let report = want_report.then(|| hedgex::explain(&phr, subhedge.as_ref(), &flat));
+                let hits = if let Some(n) = args.repeat {
+                    locate_repeated(&phr, subhedge.as_ref(), &flat, n)
+                } else if let Some(report) = &report {
+                    report.hits.clone()
+                } else {
+                    let compiled = CompiledPhr::compile(&phr);
+                    let mut hits = two_pass::locate(&compiled, &flat);
+                    if let Some(e) = &subhedge {
+                        let dha = hedgex::core::mark_down::compile_to_dha(e);
+                        let marks = hedgex::core::mark_run(&dha, &flat);
+                        hits.retain(|&n| marks[n as usize]);
+                    }
+                    hits
+                };
+                (hits, report)
             }
             None => {
                 let path = parse_path(args.path.as_deref().expect("validated"), &mut ab)

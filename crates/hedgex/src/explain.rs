@@ -13,7 +13,7 @@ use std::time::Instant;
 use hedgex_core::mark_down::{compile_to_dha, mark_run};
 use hedgex_core::phr::Phr;
 use hedgex_core::two_pass;
-use hedgex_core::{CompiledPhr, Hre};
+use hedgex_core::{CompiledPhr, EvalScratch, Hre, Plan};
 use hedgex_hedge::{FlatHedge, NodeId};
 use hedgex_obs as obs;
 use hedgex_testkit::Json;
@@ -142,7 +142,9 @@ pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainRep
     let _span = obs::span("hedgex.explain");
     let mut phases = Vec::new();
 
-    let compiled = timed(&mut phases, "compile", || CompiledPhr::compile(phr));
+    let compiled = timed(&mut phases, "compile", || {
+        Plan::from_compiled(CompiledPhr::compile(phr))
+    });
     let marks = subhedge.map(|e| {
         let dha = timed(&mut phases, "subhedge_compile", || compile_to_dha(e));
         timed(&mut phases, "subhedge_mark", || mark_run(&dha, doc))
@@ -154,6 +156,18 @@ pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainRep
     let mut hits = timed(&mut phases, "second_pass", || {
         two_pass::second_pass(&compiled, doc, &fp)
     });
+
+    // Warm run, reported separately from the cold phases above: the
+    // compile-once / run-many contract evaluates through a shared [`Plan`]
+    // and a caller-owned scratch. The first (unmeasured) pass sizes the
+    // buffers; the timed pass is the steady-state, allocation-free cost.
+    let mut scratch = EvalScratch::new();
+    compiled.locate_into(doc, &mut scratch);
+    let warm_hits = timed(&mut phases, "warm_run", || {
+        compiled.locate_into(doc, &mut scratch).len()
+    });
+    debug_assert_eq!(warm_hits, hits.len(), "warm run must reproduce cold hits");
+
     if let Some(marks) = &marks {
         hits.retain(|&n| marks[n as usize]);
     }

@@ -17,6 +17,8 @@
 //! See `examples/quickstart.rs` for a guided tour, and the `hedgex-core`
 //! crate docs for the paper-to-module map.
 
+#![forbid(unsafe_code)]
+
 pub use hedgex_automata as automata;
 pub use hedgex_baseline as baseline;
 pub use hedgex_core as core;
@@ -33,10 +35,10 @@ pub mod prelude {
     pub use hedgex_core::hre::parse_hre;
     pub use hedgex_core::path_expr::parse_path;
     pub use hedgex_core::phr::parse_phr;
-    pub use hedgex_core::query::{CompiledSelect, SelectQuery};
+    pub use hedgex_core::query::{CompiledSelect, SelectQuery, SelectScratch};
     pub use hedgex_core::schema::transform_select;
     pub use hedgex_core::two_pass;
-    pub use hedgex_core::CompiledPhr;
+    pub use hedgex_core::{CompiledPhr, EvalScratch, Plan, PlanCache};
     pub use hedgex_ha::{determinize, Dha, Nha};
     pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
     pub use hedgex_xml::{parse_xml, to_hedge, write_xml, HedgeConfig};

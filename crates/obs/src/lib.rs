@@ -26,6 +26,8 @@
 //! already at hand (pass closures to [`event`] for anything that
 //! allocates).
 
+#![forbid(unsafe_code)]
+
 /// Number of histogram buckets: bucket 0 (the value 0) plus one bucket
 /// per power of two up to `2^63`.
 pub const HIST_BUCKETS: usize = 65;

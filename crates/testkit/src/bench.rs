@@ -21,6 +21,7 @@ use crate::json::Json;
 /// Top-level harness; create once per bench binary via [`Bench::from_env`].
 pub struct Bench {
     test_mode: bool,
+    smoke: bool,
     out_dir: Option<std::path::PathBuf>,
 }
 
@@ -32,21 +33,35 @@ impl Default for Bench {
 
 impl Bench {
     /// Configure from CLI args (`--test` skips measurement) and the
-    /// `HEDGEX_BENCH_OUT` environment variable.
+    /// `HEDGEX_BENCH_OUT` / `HEDGEX_BENCH_SMOKE` environment variables.
+    /// Smoke mode clamps every group to a single sample so CI can populate
+    /// `BENCH_*.json` without paying full measurement time.
     pub fn from_env() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
+        let smoke = std::env::var_os("HEDGEX_BENCH_SMOKE").is_some_and(|v| v != "0");
         let out_dir = std::env::var_os("HEDGEX_BENCH_OUT")
             .map(std::path::PathBuf::from)
             .or_else(|| Some(std::path::PathBuf::from("target/bench-reports")));
-        Bench { test_mode, out_dir }
+        Bench {
+            test_mode,
+            smoke,
+            out_dir,
+        }
+    }
+
+    /// Is smoke mode active? Bench targets can also shrink their workload
+    /// sizes when this is set (one sample over a small corpus).
+    pub fn smoke(&self) -> bool {
+        self.smoke
     }
 
     /// Start a named group of related measurements.
     pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        let sample_size = if self.smoke { 1 } else { 20 };
         BenchGroup {
             bench: self,
             name: name.to_string(),
-            sample_size: 20,
+            sample_size,
             throughput: None,
             results: Vec::new(),
             extra: Vec::new(),
@@ -105,9 +120,9 @@ pub struct BenchGroup<'a> {
 }
 
 impl BenchGroup<'_> {
-    /// Samples per benchmark (default 20).
+    /// Samples per benchmark (default 20; pinned to 1 in smoke mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.bench.smoke { 1 } else { n.max(1) };
         self
     }
 
@@ -287,6 +302,7 @@ mod tests {
     fn quiet_bench() -> Bench {
         Bench {
             test_mode: false,
+            smoke: false,
             out_dir: None,
         }
     }
@@ -319,9 +335,24 @@ mod tests {
     }
 
     #[test]
+    fn smoke_mode_pins_sample_size_to_one() {
+        let mut c = Bench {
+            test_mode: false,
+            smoke: true,
+            out_dir: None,
+        };
+        assert!(c.smoke());
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(50); // explicit requests are clamped too
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(g.results[0].samples, 1);
+    }
+
+    #[test]
     fn test_mode_skips_measurement() {
         let mut c = Bench {
             test_mode: true,
+            smoke: false,
             out_dir: None,
         };
         let mut g = c.benchmark_group("unit");
@@ -334,6 +365,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hedgex-testkit-bench-test");
         let mut c = Bench {
             test_mode: false,
+            smoke: false,
             out_dir: Some(dir.clone()),
         };
         let mut g = c.benchmark_group("shape");
@@ -359,6 +391,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hedgex-testkit-bench-extra");
         let mut c = Bench {
             test_mode: false,
+            smoke: false,
             out_dir: Some(dir.clone()),
         };
         let mut g = c.benchmark_group("extra");

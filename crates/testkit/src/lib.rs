@@ -14,6 +14,8 @@
 //! * [`bench`] — a median-of-N wall-clock bench harness with a
 //!   criterion-shaped API (replaces `criterion`).
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod json;
 pub mod prop;

@@ -21,6 +21,8 @@
 //!   collections of tag names and conditions on attributes") realized in
 //!   the simplest structural way.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod parser;
 pub mod writer;

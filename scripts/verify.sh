@@ -28,4 +28,13 @@ cargo clippy -q --offline --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== forbid(unsafe_code) in every crate root =="
+for f in crates/*/src/lib.rs; do
+  grep -q '^#!\[forbid(unsafe_code)\]$' "$f" \
+    || { echo "missing #![forbid(unsafe_code)] in $f"; exit 1; }
+done
+
+echo "== E6 warm-throughput bench (smoke mode: 1 sample) =="
+HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench warm
+
 echo "verify: OK"

@@ -14,9 +14,10 @@ fn docbook_report_is_consistent() {
     let phr = figure_before_table_phr(&mut w.ab);
     let report = explain(&phr, None, &w.doc);
 
-    // Phases: compile + both traversals, in execution order.
+    // Phases: cold compile + both traversals + the warm re-run, in
+    // execution order.
     let names: Vec<&str> = report.phases.iter().map(|p| p.name).collect();
-    assert_eq!(names, ["compile", "first_pass", "second_pass"]);
+    assert_eq!(names, ["compile", "first_pass", "second_pass", "warm_run"]);
     assert!(
         report.phases[0].wall_ns > 0,
         "compile cannot take zero time"
@@ -81,7 +82,8 @@ fn subhedge_filter_matches_manual_marking() {
             "subhedge_compile",
             "subhedge_mark",
             "first_pass",
-            "second_pass"
+            "second_pass",
+            "warm_run"
         ]
     );
 

@@ -33,6 +33,14 @@ fn usage_errors_exit_2_with_one_line_diagnostics() {
             "mutually exclusive",
         ),
         (&["--path", "a"][..], "no input file"),
+        (
+            &["--path", "a", "--repeat", "0", "x.xml"][..],
+            "positive integer",
+        ),
+        (
+            &["--path", "a", "--repeat", "three", "x.xml"][..],
+            "positive integer",
+        ),
     ] {
         let out = hxq(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -55,6 +63,7 @@ fn help_exits_0_and_documents_the_flags() {
         "--mark",
         "--explain",
         "--metrics-json",
+        "--repeat",
     ] {
         assert!(text.contains(flag), "help should document {flag}");
     }
@@ -171,6 +180,64 @@ fn phr_and_path_agree_through_the_cli() {
     let out2 = hxq(&["--path", "a b", "--explain", xml.to_str().unwrap()]);
     assert_eq!(out2.status.code(), Some(0));
     assert_eq!(out.stdout, out2.stdout);
+
+    std::fs::remove_file(&xml).ok();
+}
+
+#[test]
+fn repeat_reuses_one_plan_and_reports_aggregate_time() {
+    let w = doc_workload(150, 7);
+    let xml = scratch("repeat.xml");
+    std::fs::write(&xml, write_xml(&w.doc, &w.ab, None)).unwrap();
+
+    // One warm run must print exactly what a single cold run prints.
+    let once = hxq(&["--path", "article section* figure", xml.to_str().unwrap()]);
+    assert_eq!(once.status.code(), Some(0));
+    let repeated = hxq(&[
+        "--path",
+        "article section* figure",
+        "--repeat",
+        "5",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        repeated.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&repeated.stderr)
+    );
+    assert_eq!(once.stdout, repeated.stdout, "hits must not depend on N");
+
+    // stderr carries the one-line aggregate summary.
+    let err = String::from_utf8_lossy(&repeated.stderr);
+    assert!(
+        err.contains("repeat: 5 runs in"),
+        "summary line missing: {err}"
+    );
+    assert!(err.contains("ms/run"), "per-run time missing: {err}");
+    assert!(err.contains("nodes/s"), "throughput missing: {err}");
+
+    // --repeat composes with --subhedge (warm SelectScratch path) and with
+    // --phr (warm Plan path on an explicit PHR).
+    let sub = hxq(&[
+        "--path",
+        "article section* figure",
+        "--subhedge",
+        "ε",
+        "--repeat",
+        "3",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(sub.status.code(), Some(0));
+    let sub_cold = hxq(&[
+        "--path",
+        "article section* figure",
+        "--subhedge",
+        "ε",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(sub.stdout, sub_cold.stdout);
+    assert!(String::from_utf8_lossy(&sub.stderr).contains("repeat: 3 runs in"));
 
     std::fs::remove_file(&xml).ok();
 }

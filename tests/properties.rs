@@ -368,6 +368,57 @@ fn two_pass_equals_naive() {
     );
 }
 
+/// The compile-once / run-many contract: warm evaluation through a
+/// [`PlanCache`]-served plan and a reused scratch equals a cold
+/// `CompiledPhr::compile` + `locate` on 300 generated (query, hedge)
+/// pairs — and a degenerate hasher that collides every query must still
+/// keep distinct queries on distinct plans (ISSUE 4 satellite).
+#[test]
+fn plan_cache_warm_equals_cold() {
+    use std::cell::RefCell;
+
+    let state = RefCell::new((
+        PlanCache::new(),
+        PlanCache::with_hasher(|_| 0), // every canonical key collides
+        EvalScratch::new(),
+    ));
+    forall(
+        "plan_cache_warm_equals_cold",
+        Config::with_cases(300),
+        &zip2(arb_hedge(), arb_phr_pick()),
+        |(h, which)| {
+            let mut ab = Alphabet::new();
+            let phr = phr_library(*which, &mut ab);
+            let f = FlatHedge::from_hedge(h);
+
+            // Cold reference: a fresh compile and an allocating locate.
+            let cold_compiled = CompiledPhr::compile(&phr);
+            let cold = hedgex::core::two_pass::locate(&cold_compiled, &f);
+
+            let (cache, colliding, scratch) = &mut *state.borrow_mut();
+            let plan = cache.get_or_compile(&phr);
+            prop_assert_eq!(plan.locate_into(&f, scratch).to_vec(), cold.clone());
+
+            // The colliding cache shares one bucket for all queries yet must
+            // never serve query A's plan for query B.
+            let plan2 = colliding.get_or_compile(&phr);
+            prop_assert_eq!(plan2.locate_into(&f, scratch).to_vec(), cold);
+            prop_assert!(cache.len() <= 4, "only 4 distinct library queries");
+            prop_assert_eq!(colliding.len(), cache.len());
+            Ok(())
+        },
+    );
+    let (cache, colliding, _) = &*state.borrow();
+    // 300 lookups over ≤4 distinct queries: the cache must have answered
+    // almost all of them warm. (Skipped under HEDGEX_SEED/HEDGEX_CASES
+    // replays, which run too few cases to warm up.)
+    if cache.hits() + cache.misses() >= 8 {
+        assert!(cache.hits() > cache.misses());
+    }
+    assert_eq!(cache.misses(), cache.len() as u64);
+    assert_eq!(colliding.misses(), colliding.len() as u64);
+}
+
 /// Oracle: the two baseline evaluators from `hedgex-baseline` (quadratic
 /// per-node and fully interpretive) agree with Algorithm 1 on random
 /// hedges + PHRs (ISSUE 2 satellite).
