@@ -1,0 +1,118 @@
+//! Experiment E7 (parallel) — multi-document throughput: one shared
+//! [`Plan`] evaluated over a DocBook corpus sequentially vs through
+//! [`ParallelEvaluator`] at 1, 2, 4, and 8 workers.
+//!
+//! Expected shape: evaluation is embarrassingly parallel across documents
+//! (the plan is shared read-only, all mutable state lives in one
+//! `EvalScratch` per worker), so throughput should scale with the worker
+//! count up to the machine's core count. The group report carries a
+//! directly measured `par_vs_seq` section including
+//! `available_parallelism` — on a single-core host the speedup saturates
+//! at ~1× no matter the worker count, and the recorded figure says so
+//! rather than extrapolating.
+
+use std::time::Instant;
+
+use hedgex_testkit::{Bench, BenchmarkId, Json, Throughput};
+
+use hedgex_bench::{corpus_workload, figure_before_table_phr};
+use hedgex_core::{EvalScratch, Plan};
+use hedgex_par::ParallelEvaluator;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall time of `k` runs of `f`, in nanoseconds.
+fn median_ns(k: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<u128> = (0..k)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(&mut f)();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[k / 2] as f64
+}
+
+fn main() {
+    let mut c = Bench::from_env();
+    let smoke = c.smoke();
+    let (num_docs, nodes_per_doc) = if smoke { (4, 2_000) } else { (32, 10_000) };
+
+    let mut w = corpus_workload(num_docs, nodes_per_doc, 0xE7);
+    let phr = figure_before_table_phr(&mut w.ab);
+    let plan = Plan::compile(&phr);
+
+    // Determinism first, time second: the pool must locate exactly the
+    // sequential answer, in input order, at every worker count.
+    let mut scratch = EvalScratch::new();
+    let seq_hits: Vec<Vec<u32>> = w
+        .docs
+        .iter()
+        .map(|d| plan.locate_into(d, &mut scratch).to_vec())
+        .collect();
+    for jobs in WORKERS {
+        assert_eq!(
+            ParallelEvaluator::new(jobs).eval_corpus(&plan, &w.docs),
+            seq_hits,
+            "parallel evaluation diverged at {jobs} workers"
+        );
+    }
+
+    let mut group = c.benchmark_group("E7_parallel_scaling");
+    group.sample_size(if smoke { 10 } else { 15 });
+    group.throughput(Throughput::Elements(w.total_nodes as u64));
+    group.bench_with_input(BenchmarkId::new("seq", w.total_nodes), &w, |b, w| {
+        b.iter(|| {
+            let mut located = 0usize;
+            for d in &w.docs {
+                located += plan.locate_into(d, &mut scratch).len();
+            }
+            std::hint::black_box(located)
+        })
+    });
+    for jobs in WORKERS {
+        let pe = ParallelEvaluator::new(jobs);
+        group.bench_with_input(BenchmarkId::new("par", jobs), &w, |b, w| {
+            b.iter(|| std::hint::black_box(pe.eval_corpus(&plan, &w.docs).len()))
+        });
+    }
+
+    // Direct speedup evidence: one measured seq/par pair per worker count,
+    // recorded with the host's actual parallelism so single-core runs are
+    // legible as such.
+    let k = if smoke { 3 } else { 11 };
+    let seq_median = median_ns(k, || {
+        let mut located = 0usize;
+        for d in &w.docs {
+            located += plan.locate_into(d, &mut scratch).len();
+        }
+        std::hint::black_box(located);
+    });
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let per_worker: Vec<Json> = WORKERS
+        .iter()
+        .map(|&jobs| {
+            let pe = ParallelEvaluator::new(jobs);
+            let par_median = median_ns(k, || {
+                std::hint::black_box(pe.eval_corpus(&plan, &w.docs).len());
+            });
+            Json::obj([
+                ("workers", Json::Num(jobs as f64)),
+                ("par_median_ns", Json::Num(par_median)),
+                ("speedup", Json::Num(seq_median / par_median.max(1.0))),
+            ])
+        })
+        .collect();
+    group.attach_extra(
+        "par_vs_seq",
+        Json::obj([
+            ("num_docs", Json::Num(w.docs.len() as f64)),
+            ("total_nodes", Json::Num(w.total_nodes as f64)),
+            ("available_parallelism", Json::Num(cores as f64)),
+            ("seq_median_ns", Json::Num(seq_median)),
+            ("per_workers", Json::Arr(per_worker)),
+        ]),
+    );
+    group.finish();
+}

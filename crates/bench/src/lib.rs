@@ -36,6 +36,41 @@ pub fn doc_workload(n: usize, seed: u64) -> Workload {
     Workload { ab, doc, nodes }
 }
 
+/// A multi-document workload for corpus-level (parallel) evaluation: one
+/// shared alphabet, many independently generated documents.
+pub struct CorpusWorkload {
+    /// The interned alphabet (shared by every document and the queries).
+    pub ab: Alphabet,
+    /// The documents, flattened.
+    pub docs: Vec<FlatHedge>,
+    /// Node count summed over the corpus.
+    pub total_nodes: usize,
+}
+
+/// Build a corpus of `num_docs` DocBook-flavoured documents of roughly
+/// `nodes_per_doc` nodes each, all over one alphabet. Per-document seeds
+/// are derived from `seed` so the corpus is reproducible yet the documents
+/// differ.
+pub fn corpus_workload(num_docs: usize, nodes_per_doc: usize, seed: u64) -> CorpusWorkload {
+    let mut ab = Alphabet::new();
+    let cfg = DocbookConfig {
+        target_nodes: nodes_per_doc,
+        ..DocbookConfig::default()
+    };
+    let docs: Vec<FlatHedge> = (0..num_docs)
+        .map(|i| {
+            let doc_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            FlatHedge::from_hedge(&docbook(&cfg, doc_seed, &mut ab))
+        })
+        .collect();
+    let total_nodes = docs.iter().map(FlatHedge::num_nodes).sum();
+    CorpusWorkload {
+        ab,
+        docs,
+        total_nodes,
+    }
+}
+
 /// The universal hedge expression over the DocBook alphabet (interns into
 /// `ab`; call after [`doc_workload`] so names align).
 pub fn docbook_universal(ab: &mut Alphabet) -> String {

@@ -75,7 +75,7 @@ pub use mark_up::MarkUp;
 pub use path_expr::{parse_path, PathExpr};
 pub use phr::{parse_phr, Pbhr, Phr};
 pub use phr_compile::CompiledPhr;
-pub use plan::{Plan, PlanCache};
+pub use plan::{Plan, PlanCache, SharedPlanCache};
 pub use query::{CompiledSelect, SelectQuery, SelectScratch};
 pub use schema::{transform_select, SelectionSchema};
 pub use two_pass::EvalScratch;

@@ -13,9 +13,17 @@
 //! between distinct queries are detected by comparing canonical forms and
 //! both plans are kept under the same hash bucket — a colliding query is
 //! never served another query's plan.
+//!
+//! Two cache flavours share that key scheme: [`PlanCache`] is the
+//! single-threaded original (`&mut self`, no locks), and
+//! [`SharedPlanCache`] is its concurrent sibling — sharded locks plus
+//! in-flight dedup so worker threads can `get_or_compile` the same query
+//! simultaneously without ever compiling it twice or serializing on one
+//! global mutex.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use hedgex_hedge::{FlatHedge, NodeId};
 use hedgex_obs as obs;
@@ -178,6 +186,238 @@ impl PlanCache {
     }
 }
 
+/// Number of independently locked shards in a [`SharedPlanCache`].
+///
+/// A power of two (the shard pick is a mask over the already-mixed FNV
+/// hash) comfortably above typical worker counts, so concurrent
+/// `get_or_compile` calls for *different* queries almost never touch the
+/// same lock; the cost is 16 mutex+condvar pairs, which is nothing. More
+/// shards would buy contention headroom no workload here can use — the
+/// critical sections are a bucket probe, microseconds against the
+/// milliseconds-to-seconds of a plan compile.
+const SHARD_COUNT: usize = 16;
+
+/// A bucket entry: either a finished plan or a claim that some thread is
+/// compiling it right now.
+enum Slot {
+    /// Claimed: the claiming thread is compiling outside the lock. Waiters
+    /// sleep on the shard's condvar instead of compiling a duplicate.
+    InFlight,
+    /// Done: clone and go.
+    Ready(Plan),
+}
+
+struct Shard {
+    /// hash → bucket of `(canonical form, slot)`; collisions are resolved
+    /// by canonical-form comparison exactly as in [`PlanCache`].
+    slots: Mutex<HashMap<u64, Vec<(String, Slot)>>>,
+    /// Signalled whenever a slot in this shard becomes `Ready` (or an
+    /// in-flight claim is abandoned).
+    ready: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding the lock leaves no broken invariant here (the
+    // in-flight guard repairs its own claim), so poisoning is not fatal.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Removes an abandoned in-flight claim if the compiling thread unwinds,
+/// so waiters wake up and recompile instead of sleeping forever.
+struct InFlightGuard<'a> {
+    shard: &'a Shard,
+    hash: u64,
+    key: &'a str,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut slots = lock(&self.shard.slots);
+        if let Some(bucket) = slots.get_mut(&self.hash) {
+            bucket.retain(|(k, s)| !(k == self.key && matches!(s, Slot::InFlight)));
+        }
+        self.shard.ready.notify_all();
+    }
+}
+
+/// A thread-safe [`PlanCache`]: `get_or_compile` takes `&self`, so one
+/// cache (behind an `Arc` or a plain borrow) serves any number of worker
+/// threads.
+///
+/// Two properties matter under concurrency:
+///
+/// * **Sharding.** The key hash picks one of [`SHARD_COUNT`]
+///   independently locked shards; threads resolving different queries
+///   proceed in parallel rather than convoying on a single mutex.
+/// * **In-flight dedup.** The first thread to miss a query claims it
+///   (an [`Slot::InFlight`] marker) and compiles *outside* the lock;
+///   threads arriving meanwhile wait on the shard's condvar and are
+///   handed the finished plan. Each distinct query is compiled exactly
+///   once, ever — a waiter counts as a hit, since it never compiled.
+pub struct SharedPlanCache {
+    hasher: fn(&str) -> u64,
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new()
+    }
+}
+
+impl SharedPlanCache {
+    /// An empty cache using the default FNV-1a hash.
+    pub fn new() -> SharedPlanCache {
+        SharedPlanCache::with_hasher(fnv1a)
+    }
+
+    /// An empty cache with a custom hash function (test hook: a degenerate
+    /// hasher piles every query onto one shard and one bucket, exercising
+    /// both the collision-rejection and the contention paths).
+    pub fn with_hasher(hasher: fn(&str) -> u64) -> SharedPlanCache {
+        SharedPlanCache {
+            hasher,
+            shards: (0..SHARD_COUNT)
+                .map(|_| Shard {
+                    slots: Mutex::new(HashMap::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &Shard {
+        &self.shards[(hash as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The plan for `phr`, compiling at most once per distinct query
+    /// across all threads. Concurrent callers of the same cold query
+    /// block until its one compile finishes (counted as hits — they did
+    /// not compile); callers of other queries are unaffected unless they
+    /// share the same shard, and even then only for the bucket probe.
+    pub fn get_or_compile(&self, phr: &Phr) -> Plan {
+        let key = canonical_key(phr);
+        let hash = (self.hasher)(&key);
+        let shard = self.shard_for(hash);
+
+        let mut slots = lock(&shard.slots);
+        loop {
+            // Probe under the lock; classify without holding borrows
+            // across the wait.
+            enum Probe {
+                Ready(Plan),
+                InFlight,
+                Absent,
+            }
+            let probe = match slots
+                .get(&hash)
+                .and_then(|b| b.iter().find(|(k, _)| *k == key))
+            {
+                Some((_, Slot::Ready(plan))) => Probe::Ready(plan.clone()),
+                Some((_, Slot::InFlight)) => Probe::InFlight,
+                None => Probe::Absent,
+            };
+            match probe {
+                Probe::Ready(plan) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_inc("core.plan_cache.shared.hits");
+                    return plan;
+                }
+                Probe::InFlight => {
+                    slots = shard
+                        .ready
+                        .wait(slots)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Probe::Absent => {
+                    slots
+                        .entry(hash)
+                        .or_default()
+                        .push((key.clone(), Slot::InFlight));
+                    break;
+                }
+            }
+        }
+        drop(slots);
+
+        // Our claim: compile outside the lock so other shard traffic (and
+        // other queries colliding into this bucket) keeps flowing.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter_inc("core.plan_cache.shared.misses");
+        let mut guard = InFlightGuard {
+            shard,
+            hash,
+            key: &key,
+            armed: true,
+        };
+        let plan = Plan::compile(phr);
+        let mut slots = lock(&shard.slots);
+        let bucket = slots.get_mut(&hash).expect("claimed bucket exists");
+        let slot = bucket
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .expect("claimed slot exists");
+        slot.1 = Slot::Ready(plan.clone());
+        guard.armed = false;
+        drop(slots);
+        shard.ready.notify_all();
+        plan
+    }
+
+    /// The cached plan for `phr`, if finished, without compiling or
+    /// waiting (an in-flight compile reads as absent).
+    pub fn get(&self, phr: &Phr) -> Option<Plan> {
+        let key = canonical_key(phr);
+        let hash = (self.hasher)(&key);
+        let slots = lock(&self.shard_for(hash).slots);
+        slots
+            .get(&hash)?
+            .iter()
+            .find_map(|(k, s)| match (k == &key, s) {
+                (true, Slot::Ready(plan)) => Some(plan.clone()),
+                _ => None,
+            })
+    }
+
+    /// Number of finished plans held (in-flight compiles excluded).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| {
+                lock(&sh.slots)
+                    .values()
+                    .flatten()
+                    .filter(|(_, s)| matches!(s, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Is the cache empty (no finished plans)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache (including waits on an in-flight
+    /// compile — the caller got a plan it did not compile).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that claimed and performed a compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +494,42 @@ mod tests {
         assert_eq!(plan_a.locate(&fa), vec![0]);
         assert_eq!(plan_a.locate(&fb), Vec::<NodeId>::new());
         assert_eq!(plan_b.locate(&fb), vec![0]);
+    }
+
+    #[test]
+    fn shared_cache_matches_plan_cache_semantics() {
+        let mut ab = Alphabet::new();
+        let p1 = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let p2 = parse_phr("[ε ; b ; ε]", &mut ab).unwrap();
+        let cache = SharedPlanCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(&p1).is_none());
+        let a1 = cache.get_or_compile(&p1);
+        let _ = cache.get_or_compile(&p2);
+        let a2 = cache.get_or_compile(&p1);
+        assert!(std::ptr::eq(a1.compiled(), a2.compiled()));
+        assert!(std::ptr::eq(
+            a1.compiled(),
+            cache.get(&p1).unwrap().compiled()
+        ));
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn shared_cache_keeps_colliding_plans_apart() {
+        // Degenerate hasher: one shard, one bucket, every query collides.
+        let mut ab = Alphabet::new();
+        let pa = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let pb = parse_phr("[ε ; b ; ε]", &mut ab).unwrap();
+        let cache = SharedPlanCache::with_hasher(|_| 42);
+        let plan_a = cache.get_or_compile(&pa);
+        let plan_b = cache.get_or_compile(&pb);
+        assert!(!std::ptr::eq(plan_a.compiled(), plan_b.compiled()));
+        assert_eq!(cache.len(), 2);
+        let fa = FlatHedge::from_hedge(&parse_hedge("a", &mut ab).unwrap());
+        assert_eq!(plan_a.locate(&fa), vec![0]);
+        assert_eq!(plan_b.locate(&fa), Vec::<NodeId>::new());
     }
 
     #[test]

@@ -47,48 +47,62 @@ pub struct FlatHedge {
 
 impl FlatHedge {
     /// Flatten a recursive hedge.
+    ///
+    /// The walk is an explicit-stack preorder traversal, *not* a recursion
+    /// per nesting level: real documents nest arbitrarily deep (a
+    /// 100 000-level chain is a regression test) and must flatten within a
+    /// fixed call-stack budget. Pushing each node's children in reverse
+    /// means the stack pops them left to right, so node ids remain the
+    /// preorder (document-order) indices everything downstream relies on.
     pub fn from_hedge(h: &Hedge) -> FlatHedge {
+        let size = h.size();
         let mut out = FlatHedge {
-            nodes: Vec::with_capacity(h.size()),
+            nodes: Vec::with_capacity(size),
             roots: Vec::with_capacity(h.len()),
         };
-        let mut prev = NIL;
-        for t in h.trees() {
-            let id = out.push_tree(t, NIL, prev);
-            out.roots.push(id);
-            prev = id;
-        }
-        out
-    }
-
-    fn push_tree(&mut self, t: &Tree, parent: NodeId, prev: NodeId) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        let label = match t {
-            Tree::Node(a, _) => FlatLabel::Sym(*a),
-            Tree::Var(x) => FlatLabel::Var(*x),
-            Tree::Subst(z) => FlatLabel::Subst(*z),
-        };
-        self.nodes.push(FlatNode {
-            label,
-            parent,
-            first_child: NIL,
-            next_sibling: NIL,
-            prev_sibling: prev,
-        });
-        if prev != NIL {
-            self.nodes[prev as usize].next_sibling = id;
-        }
-        if let Tree::Node(_, children) = t {
-            let mut cprev = NIL;
-            for c in children.trees() {
-                let cid = self.push_tree(c, id, cprev);
-                if cprev == NIL {
-                    self.nodes[id as usize].first_child = cid;
+        // Youngest-so-far child of each already-allocated node (parents are
+        // always allocated before their children in preorder, so this can
+        // be a dense vector growing in lockstep with `nodes`).
+        let mut last_child: Vec<NodeId> = Vec::with_capacity(size);
+        let mut last_root = NIL;
+        let mut stack: Vec<(&Tree, NodeId)> = h.0.iter().rev().map(|t| (t, NIL)).collect();
+        while let Some((t, parent)) = stack.pop() {
+            let id = out.nodes.len() as NodeId;
+            let label = match t {
+                Tree::Node(a, _) => FlatLabel::Sym(*a),
+                Tree::Var(x) => FlatLabel::Var(*x),
+                Tree::Subst(z) => FlatLabel::Subst(*z),
+            };
+            let prev = if parent == NIL {
+                last_root
+            } else {
+                last_child[parent as usize]
+            };
+            out.nodes.push(FlatNode {
+                label,
+                parent,
+                first_child: NIL,
+                next_sibling: NIL,
+                prev_sibling: prev,
+            });
+            last_child.push(NIL);
+            if prev != NIL {
+                out.nodes[prev as usize].next_sibling = id;
+            }
+            if parent == NIL {
+                out.roots.push(id);
+                last_root = id;
+            } else {
+                if last_child[parent as usize] == NIL {
+                    out.nodes[parent as usize].first_child = id;
                 }
-                cprev = cid;
+                last_child[parent as usize] = id;
+            }
+            if let Tree::Node(_, children) = t {
+                stack.extend(children.0.iter().rev().map(|c| (c, id)));
             }
         }
-        id
+        out
     }
 
     /// Number of nodes.
@@ -354,6 +368,38 @@ mod tests {
         let env = f.envelope(2);
         let expected = parse_hedge("b a<a<%η> b>", &mut ab).unwrap();
         assert_eq!(env, expected);
+    }
+
+    #[test]
+    fn flattening_is_depth_insensitive() {
+        // A chain nested far beyond any plausible call-stack budget: the
+        // explicit-stack walk must flatten it, and the family links must
+        // form exactly one first-child chain. (The evaluate half of the
+        // regression lives in tests/deep_docs.rs at the workspace root.)
+        use crate::symbols::Alphabet;
+        const DEPTH: usize = 100_000;
+        let mut ab = Alphabet::new();
+        let a = ab.sym("a");
+        let mut h = Hedge::leaf(a);
+        for _ in 0..DEPTH {
+            h = Hedge::node(a, h);
+        }
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(f.num_nodes(), DEPTH + 1);
+        assert_eq!(f.roots(), &[0]);
+        for n in 0..DEPTH as NodeId {
+            assert_eq!(f.first_child(n), Some(n + 1));
+            assert_eq!(f.parent(n + 1), Some(n));
+            assert_eq!(f.next_sibling(n), None);
+        }
+        // Tear the recursive hedge down iteratively too: the derived drop
+        // glue recurses per level and would blow the test thread's stack.
+        let mut stack: Vec<Tree> = h.0;
+        while let Some(t) = stack.pop() {
+            if let Tree::Node(_, mut inner) = t {
+                stack.append(&mut inner.0);
+            }
+        }
     }
 
     #[test]

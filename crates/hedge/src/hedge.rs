@@ -90,12 +90,19 @@ impl Tree {
         }
     }
 
-    /// Number of nodes in this tree (leaves count).
+    /// Number of nodes in this tree (leaves count). Explicit-stack walk:
+    /// `size` feeds [`crate::FlatHedge`] flattening, which must handle
+    /// arbitrarily deep documents without consuming call stack.
     pub fn size(&self) -> usize {
-        match self {
-            Tree::Node(_, h) => 1 + h.size(),
-            _ => 1,
+        let mut n = 0;
+        let mut stack: Vec<&Tree> = vec![self];
+        while let Some(t) = stack.pop() {
+            n += 1;
+            if let Tree::Node(_, h) = t {
+                stack.extend(h.trees());
+            }
         }
+        n
     }
 
     /// Height: 1 for leaves and childless nodes.

@@ -30,6 +30,7 @@ struct Args {
     explain: bool,
     metrics_json: Option<String>,
     repeat: Option<u64>,
+    jobs: Option<u64>,
     file: Option<String>,
 }
 
@@ -48,6 +49,8 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
   --metrics-json PATH  write the explain report as JSON to PATH
   --repeat N           evaluate the query N times reusing one compiled plan
                        and one scratch; print aggregate wall time to stderr
+  --jobs N             spread the repeated runs over N worker threads, one
+                       scratch per worker; N=1 is exactly the sequential path
   -h, --help           show this help
   FILE                 an XML file, or '-' for stdin";
 
@@ -66,6 +69,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         explain: false,
         metrics_json: None,
         repeat: None,
+        jobs: None,
         file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +93,17 @@ fn parse_args() -> Result<Args, ExitCode> {
                     _ => {
                         return Err(usage_error(&format!(
                             "option '--repeat' needs a positive integer, got '{n}'"
+                        )))
+                    }
+                }
+            }
+            "--jobs" => {
+                let n = value("--jobs")?;
+                match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => out.jobs = Some(n),
+                    _ => {
+                        return Err(usage_error(&format!(
+                            "option '--jobs' needs a positive integer, got '{n}'"
                         )))
                     }
                 }
@@ -139,42 +154,73 @@ fn print_report(report: &ExplainReport) {
     eprintln!("  nodes {}, located {}", report.nodes, report.located);
 }
 
-/// `--repeat N`: compile the query once, then evaluate it `n` times into
-/// one reused scratch (the warm plan path). Prints the aggregate wall time
-/// of the evaluation loop — compilation excluded — to stderr.
+/// `--repeat N [--jobs J]`: compile the query once, then evaluate it `n`
+/// times reusing scratches (the warm plan path) — sequentially for
+/// `jobs <= 1`, otherwise spread over `jobs` workers with one scratch
+/// each. Prints the aggregate wall time of the evaluation loop —
+/// compilation excluded — to stderr when `--repeat` was given.
 fn locate_repeated(
     phr: &hedgex::core::Phr,
     subhedge: Option<&hedgex::core::Hre>,
     flat: &FlatHedge,
-    n: u64,
+    repeat: Option<u64>,
+    jobs: usize,
 ) -> Vec<u32> {
+    let n = repeat.unwrap_or(1);
     let (hits, wall) = if let Some(e) = subhedge {
         let compiled = SelectQuery {
             subhedge: e.clone(),
             envelope: phr.clone(),
         }
         .compile();
-        let mut scratch = SelectScratch::new();
-        let t = Instant::now();
-        for _ in 0..n {
-            compiled.locate_into(flat, &mut scratch);
+        if jobs > 1 {
+            let t = Instant::now();
+            let mut runs = hedgex::par::run_scoped(
+                jobs,
+                n as usize,
+                |_| SelectScratch::new(),
+                |scratch, _| {
+                    compiled.locate_into(flat, scratch);
+                    scratch.located().to_vec()
+                },
+            );
+            (runs.pop().unwrap_or_default(), t.elapsed())
+        } else {
+            let mut scratch = SelectScratch::new();
+            let t = Instant::now();
+            for _ in 0..n {
+                compiled.locate_into(flat, &mut scratch);
+            }
+            (scratch.located().to_vec(), t.elapsed())
         }
-        (scratch.located().to_vec(), t.elapsed())
     } else {
         let plan = Plan::compile(phr);
-        let mut scratch = EvalScratch::new();
-        let t = Instant::now();
-        for _ in 0..n {
-            plan.locate_into(flat, &mut scratch);
+        if jobs > 1 {
+            let t = Instant::now();
+            let hits = ParallelEvaluator::new(jobs).repeat(&plan, flat, n as usize);
+            (hits, t.elapsed())
+        } else {
+            let mut scratch = EvalScratch::new();
+            let t = Instant::now();
+            for _ in 0..n {
+                plan.locate_into(flat, &mut scratch);
+            }
+            (scratch.located().to_vec(), t.elapsed())
         }
-        (scratch.located().to_vec(), t.elapsed())
     };
-    let total_ms = wall.as_secs_f64() * 1e3;
-    let nodes_per_s = (flat.num_nodes() as u64 * n) as f64 / wall.as_secs_f64().max(1e-9);
-    eprintln!(
-        "repeat: {n} runs in {total_ms:.3} ms ({:.3} ms/run, {nodes_per_s:.0} nodes/s)",
-        total_ms / n as f64
-    );
+    if repeat.is_some() {
+        let total_ms = wall.as_secs_f64() * 1e3;
+        let nodes_per_s = (flat.num_nodes() as u64 * n) as f64 / wall.as_secs_f64().max(1e-9);
+        let workers = if jobs > 1 {
+            format!(", {jobs} workers")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "repeat: {n} runs in {total_ms:.3} ms ({:.3} ms/run, {nodes_per_s:.0} nodes/s{workers})",
+            total_ms / n as f64
+        );
+    }
     hits
 }
 
@@ -210,8 +256,9 @@ fn run(args: Args) -> Result<(), String> {
         .transpose()?;
 
     let want_report = args.explain || args.metrics_json.is_some();
-    // Reports and repeated runs both need the query as a PHR plan.
-    let want_phr = want_report || args.repeat.is_some();
+    // Reports, repeated runs, and worker pools all need the query as a
+    // PHR plan.
+    let want_phr = want_report || args.repeat.is_some() || args.jobs.is_some();
 
     // Envelope condition (and, through explain, the subhedge filter).
     let (hits, report): (Vec<u32>, Option<ExplainReport>) = {
@@ -232,8 +279,9 @@ fn run(args: Args) -> Result<(), String> {
         match phr {
             Some(phr) => {
                 let report = want_report.then(|| hedgex::explain(&phr, subhedge.as_ref(), &flat));
-                let hits = if let Some(n) = args.repeat {
-                    locate_repeated(&phr, subhedge.as_ref(), &flat, n)
+                let hits = if args.repeat.is_some() || args.jobs.is_some() {
+                    let jobs = args.jobs.unwrap_or(1) as usize;
+                    locate_repeated(&phr, subhedge.as_ref(), &flat, args.repeat, jobs)
                 } else if let Some(report) = &report {
                     report.hits.clone()
                 } else {

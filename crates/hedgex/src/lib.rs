@@ -12,7 +12,8 @@
 //!   pointed hedge representations, selection queries, two-pass linear
 //!   evaluation, match-identifying automata, schema transformation;
 //! * [`xml`] — XML parsing/serialization and synthetic corpora;
-//! * [`baseline`] — quadratic/interpretive baselines for benchmarking.
+//! * [`baseline`] — quadratic/interpretive baselines for benchmarking;
+//! * [`par`] — scoped worker pool and parallel corpus/plan evaluation.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `hedgex-core`
 //! crate docs for the paper-to-module map.
@@ -25,6 +26,7 @@ pub use hedgex_core as core;
 pub use hedgex_ha as ha;
 pub use hedgex_hedge as hedge;
 pub use hedgex_obs as obs;
+pub use hedgex_par as par;
 pub use hedgex_xml as xml;
 
 pub mod explain;
@@ -38,8 +40,9 @@ pub mod prelude {
     pub use hedgex_core::query::{CompiledSelect, SelectQuery, SelectScratch};
     pub use hedgex_core::schema::transform_select;
     pub use hedgex_core::two_pass;
-    pub use hedgex_core::{CompiledPhr, EvalScratch, Plan, PlanCache};
+    pub use hedgex_core::{CompiledPhr, EvalScratch, Plan, PlanCache, SharedPlanCache};
     pub use hedgex_ha::{determinize, Dha, Nha};
     pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
+    pub use hedgex_par::ParallelEvaluator;
     pub use hedgex_xml::{parse_xml, to_hedge, write_xml, HedgeConfig};
 }

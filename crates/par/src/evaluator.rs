@@ -1,0 +1,148 @@
+//! Batch evaluation of compiled plans over the worker pool.
+//!
+//! Both batch shapes share the same skeleton: the immutable [`Plan`] (or
+//! plan set) is borrowed by every worker, each worker owns one
+//! [`EvalScratch`] for its whole lifetime (buffers grow to the largest
+//! document it happens to process and are reused across tasks — the warm
+//! path of `two_pass::locate_into`, multiplied by cores), and results are
+//! returned in input order. A one-worker evaluator degenerates to exactly
+//! the sequential loop, which is what `hxq --jobs 1` relies on.
+
+use hedgex_core::plan::Plan;
+use hedgex_core::EvalScratch;
+use hedgex_hedge::{FlatHedge, NodeId};
+
+use crate::pool;
+
+/// A reusable batch evaluator: a worker count plus the dispatch recipes.
+///
+/// Construction is free (no threads are kept alive between calls — the
+/// pool is scoped per batch), so an evaluator can be created ad hoc
+/// wherever a corpus shows up.
+#[derive(Debug, Clone)]
+pub struct ParallelEvaluator {
+    jobs: usize,
+}
+
+impl ParallelEvaluator {
+    /// An evaluator running `jobs` workers (clamped to at least 1; also
+    /// clamped down to the task count at each call site).
+    pub fn new(jobs: usize) -> ParallelEvaluator {
+        ParallelEvaluator { jobs: jobs.max(1) }
+    }
+
+    /// An evaluator sized to [`std::thread::available_parallelism`]
+    /// (1 if the platform cannot say).
+    pub fn with_available_parallelism() -> ParallelEvaluator {
+        ParallelEvaluator::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// One plan over many documents: `out[i]` is exactly
+    /// `plan.locate_into(&docs[i], …)` — the matches of document `i`, in
+    /// document order, independent of scheduling.
+    pub fn eval_corpus(&self, plan: &Plan, docs: &[FlatHedge]) -> Vec<Vec<NodeId>> {
+        pool::run_scoped(
+            self.jobs,
+            docs.len(),
+            |_| EvalScratch::new(),
+            |scratch, i| plan.locate_into(&docs[i], scratch).to_vec(),
+        )
+    }
+
+    /// The dual: many plans over one document. `out[i]` is the matches of
+    /// `plans[i]` on `doc`.
+    pub fn eval_plans(&self, plans: &[Plan], doc: &FlatHedge) -> Vec<Vec<NodeId>> {
+        pool::run_scoped(
+            self.jobs,
+            plans.len(),
+            |_| EvalScratch::new(),
+            |scratch, i| plans[i].locate_into(doc, scratch).to_vec(),
+        )
+    }
+
+    /// Evaluate one plan over one document `n` times (a throughput shape:
+    /// `hxq --repeat N --jobs J`), returning the matches once. Every run
+    /// produces the same answer; the value returned is that answer.
+    pub fn repeat(&self, plan: &Plan, doc: &FlatHedge, n: usize) -> Vec<NodeId> {
+        let mut runs = pool::run_scoped(
+            self.jobs,
+            n.max(1),
+            |_| EvalScratch::new(),
+            |scratch, _| plan.locate_into(doc, scratch).to_vec(),
+        );
+        runs.pop().expect("at least one run")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_core::phr::parse_phr;
+    use hedgex_hedge::{parse_hedge, Alphabet};
+
+    fn corpus(ab: &mut Alphabet) -> (Plan, Vec<FlatHedge>) {
+        let phr = parse_phr("[a* ; b ; a*]", ab).unwrap();
+        let plan = Plan::compile(&phr);
+        let docs = ["a a b a", "b", "a a a", "b a b", "a b a b a b", ""]
+            .iter()
+            .map(|src| FlatHedge::from_hedge(&parse_hedge(src, ab).unwrap()))
+            .collect();
+        (plan, docs)
+    }
+
+    #[test]
+    fn corpus_results_equal_sequential_for_every_worker_count() {
+        let mut ab = Alphabet::new();
+        let (plan, docs) = corpus(&mut ab);
+        let seq: Vec<Vec<NodeId>> = docs.iter().map(|d| plan.locate(d)).collect();
+        for jobs in [1, 2, 3, 7] {
+            assert_eq!(
+                ParallelEvaluator::new(jobs).eval_corpus(&plan, &docs),
+                seq,
+                "{jobs} jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_set_results_equal_sequential() {
+        let mut ab = Alphabet::new();
+        let plans: Vec<Plan> = ["[ε ; a ; ε]", "[a* ; b ; a*]", "[ε ; b ; a]"]
+            .iter()
+            .map(|src| Plan::compile(&parse_phr(src, &mut ab).unwrap()))
+            .collect();
+        let doc = FlatHedge::from_hedge(&parse_hedge("a b a b", &mut ab).unwrap());
+        let seq: Vec<Vec<NodeId>> = plans.iter().map(|p| p.locate(&doc)).collect();
+        for jobs in [1, 2, 5] {
+            assert_eq!(ParallelEvaluator::new(jobs).eval_plans(&plans, &doc), seq);
+        }
+    }
+
+    #[test]
+    fn repeat_returns_the_single_run_answer() {
+        let mut ab = Alphabet::new();
+        let (plan, docs) = corpus(&mut ab);
+        let expected = plan.locate(&docs[0]);
+        for jobs in [1, 4] {
+            assert_eq!(
+                ParallelEvaluator::new(jobs).repeat(&plan, &docs[0], 9),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(ParallelEvaluator::new(0).jobs(), 1);
+        assert!(ParallelEvaluator::with_available_parallelism().jobs() >= 1);
+    }
+}

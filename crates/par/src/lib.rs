@@ -1,0 +1,35 @@
+//! # hedgex-par — parallel batch evaluation
+//!
+//! Compilation (Section 7) is exponential-time preprocessing; evaluation is
+//! linear per hedge and *independent across hedges* — once a
+//! [`hedgex_core::Plan`] is shared immutably, evaluating a corpus of
+//! documents is embarrassingly parallel. This crate supplies the missing
+//! execution layer, using nothing beyond `std` (the workspace is hermetic —
+//! no rayon, no crossbeam):
+//!
+//! * [`pool`] — a scoped worker pool built on [`std::thread::scope`]:
+//!   tasks are split into chunks, dealt round-robin onto per-worker
+//!   double-ended queues, and idle workers steal from the *back* of their
+//!   neighbours' queues (owners pop from the front, so a steal touches the
+//!   cold end). No threads outlive a call; borrowing the plan, the corpus,
+//!   and the closures from the caller's stack needs no `'static` bounds
+//!   and no `unsafe`.
+//! * [`ParallelEvaluator`] — the two batch shapes over the pool: one plan
+//!   over a corpus of documents ([`ParallelEvaluator::eval_corpus`]) and
+//!   many plans over one document ([`ParallelEvaluator::eval_plans`]),
+//!   each worker reusing one [`hedgex_core::EvalScratch`] across its
+//!   tasks. Results always come back in deterministic input order, equal
+//!   element-for-element to the sequential [`hedgex_core::plan::Plan::locate_into`]
+//!   loop — scheduling can never change an answer, only its latency.
+//!
+//! For the companion concurrency-safe compile cache (so worker threads can
+//! also *obtain* plans without serializing on one lock), see
+//! [`hedgex_core::plan::SharedPlanCache`].
+
+#![forbid(unsafe_code)]
+
+pub mod evaluator;
+pub mod pool;
+
+pub use evaluator::ParallelEvaluator;
+pub use pool::{run_scoped, run_scoped_with_stats, PoolStats};

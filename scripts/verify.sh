@@ -22,6 +22,10 @@ echo "== cargo test -q --offline --no-default-features (pinned two-pass) =="
 # Same match sets with instrumentation compiled out: observe, never perturb.
 cargo test -q --offline --no-default-features -p hedgex --test two_pass_pinned
 
+echo "== cargo test -q --offline --no-default-features (parallel) =="
+# The pool must stay deterministic with the obs counters compiled out.
+cargo test -q --offline --no-default-features -p hedgex --test parallel
+
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
@@ -36,5 +40,8 @@ done
 
 echo "== E6 warm-throughput bench (smoke mode: 1 sample) =="
 HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench warm
+
+echo "== E7 parallel-scaling bench (smoke mode: 1 sample) =="
+HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench parallel
 
 echo "verify: OK"

@@ -1,0 +1,58 @@
+//! Regression tests for pathologically deep documents.
+//!
+//! `FlatHedge::from_hedge` used to recurse once per nesting level, so a
+//! chain ~100k elements deep overflowed the stack before evaluation even
+//! started. Flattening and the two-pass evaluator are both iterative now;
+//! these tests pin that by flattening and querying a 100k-deep chain.
+//! (The recursive `Hedge` type itself still has recursive drop glue, so
+//! the tests tear the tree down with an explicit stack.)
+
+use hedgex::prelude::*;
+use hedgex_hedge::{Hedge, Tree};
+
+const DEPTH: usize = 100_000;
+
+/// Drop a hedge without recursing through the derived drop glue.
+fn drop_iteratively(h: Hedge) {
+    let mut stack: Vec<Tree> = h.0;
+    while let Some(t) = stack.pop() {
+        if let Tree::Node(_, mut inner) = t {
+            stack.append(&mut inner.0);
+        }
+    }
+}
+
+#[test]
+fn hundred_thousand_deep_chain_flattens_and_evaluates() {
+    let mut ab = Alphabet::new();
+    let a = ab.sym("a");
+
+    // a<a<…<a>…>> nested DEPTH+1 levels, built bottom-up (no recursion).
+    let mut t = Tree::Node(a, Hedge(vec![]));
+    for _ in 0..DEPTH {
+        t = Tree::Node(a, Hedge(vec![t]));
+    }
+    let h = Hedge(vec![t]);
+
+    let flat = FlatHedge::from_hedge(&h);
+    assert_eq!(flat.num_nodes(), DEPTH + 1);
+
+    // Every node on the chain is an only-child `a`, so the starred
+    // triplet locates all of them.
+    let phr = parse_phr("[ε ; a ; ε]*", &mut ab).unwrap();
+    let plan = Plan::compile(&phr);
+    let mut scratch = EvalScratch::new();
+    let mut hits = plan.locate_into(&flat, &mut scratch).to_vec();
+    hits.sort_unstable();
+    assert_eq!(hits.len(), DEPTH + 1);
+    assert!(hits.iter().enumerate().all(|(i, &n)| n == i as u32));
+
+    // The parallel evaluator walks the same chain without deepening any
+    // stack: worker threads get the same iterative machinery.
+    let par = ParallelEvaluator::new(2);
+    let per_doc = par.eval_corpus(&plan, std::slice::from_ref(&flat));
+    assert_eq!(per_doc.len(), 1);
+    assert_eq!(per_doc[0].len(), DEPTH + 1);
+
+    drop_iteratively(h);
+}

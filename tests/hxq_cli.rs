@@ -41,6 +41,14 @@ fn usage_errors_exit_2_with_one_line_diagnostics() {
             &["--path", "a", "--repeat", "three", "x.xml"][..],
             "positive integer",
         ),
+        (
+            &["--path", "a", "--jobs", "0", "x.xml"][..],
+            "positive integer",
+        ),
+        (
+            &["--path", "a", "--jobs", "many", "x.xml"][..],
+            "positive integer",
+        ),
     ] {
         let out = hxq(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -64,6 +72,7 @@ fn help_exits_0_and_documents_the_flags() {
         "--explain",
         "--metrics-json",
         "--repeat",
+        "--jobs",
     ] {
         assert!(text.contains(flag), "help should document {flag}");
     }
@@ -238,6 +247,80 @@ fn repeat_reuses_one_plan_and_reports_aggregate_time() {
     ]);
     assert_eq!(sub.stdout, sub_cold.stdout);
     assert!(String::from_utf8_lossy(&sub.stderr).contains("repeat: 3 runs in"));
+
+    std::fs::remove_file(&xml).ok();
+}
+
+#[test]
+fn jobs_matches_sequential_output_byte_for_byte() {
+    let w = doc_workload(200, 11);
+    let xml = scratch("jobs.xml");
+    std::fs::write(&xml, write_xml(&w.doc, &w.ab, None)).unwrap();
+    let query = ["--path", "article section* figure"];
+
+    let seq = hxq(&[&query[..], &["--repeat", "4", xml.to_str().unwrap()]].concat());
+    assert_eq!(
+        seq.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&seq.stderr)
+    );
+    assert!(!seq.stdout.is_empty(), "workload should contain figures");
+
+    // --jobs 1 takes the exact sequential code path: stdout byte-for-byte,
+    // and the summary line does not advertise a worker pool.
+    let one = hxq(&[
+        &query[..],
+        &["--repeat", "4", "--jobs", "1", xml.to_str().unwrap()],
+    ]
+    .concat());
+    assert_eq!(one.status.code(), Some(0));
+    assert_eq!(seq.stdout, one.stdout, "--jobs 1 must equal sequential");
+    assert!(!String::from_utf8_lossy(&one.stderr).contains("workers"));
+
+    // --jobs 3 goes through the pool but locates the same nodes, and the
+    // summary says so.
+    let three = hxq(&[
+        &query[..],
+        &["--repeat", "4", "--jobs", "3", xml.to_str().unwrap()],
+    ]
+    .concat());
+    assert_eq!(
+        three.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&three.stderr)
+    );
+    assert_eq!(seq.stdout, three.stdout, "--jobs 3 must equal sequential");
+    let err = String::from_utf8_lossy(&three.stderr);
+    assert!(err.contains("repeat: 4 runs in"), "summary missing: {err}");
+    assert!(err.contains("3 workers"), "worker count missing: {err}");
+
+    // --jobs without --repeat: a single run on the pool, no summary line.
+    let plain = hxq(&[&query[..], &[xml.to_str().unwrap()]].concat());
+    let pooled = hxq(&[&query[..], &["--jobs", "2", xml.to_str().unwrap()]].concat());
+    assert_eq!(pooled.status.code(), Some(0));
+    assert_eq!(plain.stdout, pooled.stdout);
+    assert!(pooled.stderr.is_empty(), "no --repeat, no summary");
+
+    // --jobs composes with --subhedge (one SelectScratch per worker).
+    let sub_seq = hxq(&[&query[..], &["--subhedge", "ε", xml.to_str().unwrap()]].concat());
+    let sub_par = hxq(&[
+        &query[..],
+        &[
+            "--subhedge",
+            "ε",
+            "--repeat",
+            "3",
+            "--jobs",
+            "2",
+            xml.to_str().unwrap(),
+        ],
+    ]
+    .concat());
+    assert_eq!(sub_par.status.code(), Some(0));
+    assert_eq!(sub_seq.stdout, sub_par.stdout);
+    assert!(String::from_utf8_lossy(&sub_par.stderr).contains("2 workers"));
 
     std::fs::remove_file(&xml).ok();
 }
