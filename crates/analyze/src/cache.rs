@@ -1,0 +1,119 @@
+//! Memoized analysis, keyed the same way as the plan cache.
+//!
+//! Building the spine automata re-runs the exponential subset
+//! construction, so repeated `hxq check` calls (or a server answering
+//! satisfiability probes) want the same compile-once / ask-many split the
+//! evaluator gets from [`hedgex_core::PlanCache`]. The key reuses
+//! [`canonical_key`] (shared with the plan caches through
+//! `hedgex_core::keys`) extended with the canonical form of the subhedge
+//! condition, hashed by the same FNV-1a; hash collisions fall back to
+//! comparing the full canonical forms, so a colliding query is never
+//! served another query's analysis.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hedgex_core::phr::Phr;
+use hedgex_core::{canonical_key, fnv1a, Hre};
+use hedgex_obs as obs;
+
+use crate::report::AnalyzedQuery;
+
+/// The cache key: envelope canonical form, `§`, subhedge canonical form
+/// (empty when unconstrained). `§` cannot occur in either debug rendering,
+/// so distinct pairs get distinct keys.
+fn analysis_key(phr: &Phr, subhedge: Option<&Hre>) -> String {
+    let mut key = canonical_key(phr);
+    key.push('§');
+    if let Some(e1) = subhedge {
+        key.push_str(&format!("{e1:?}"));
+    }
+    key
+}
+
+/// A single-threaded cache of analyzed queries.
+pub struct AnalysisCache {
+    buckets: HashMap<u64, Vec<(String, Arc<AnalyzedQuery>)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        AnalysisCache::new()
+    }
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache {
+            buckets: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The analysis for this query, building it on first sight.
+    pub fn get_or_analyze(&mut self, phr: &Phr, subhedge: Option<&Hre>) -> Arc<AnalyzedQuery> {
+        let key = analysis_key(phr, subhedge);
+        let bucket = self.buckets.entry(fnv1a(&key)).or_default();
+        if let Some((_, q)) = bucket.iter().find(|(k, _)| *k == key) {
+            self.hits += 1;
+            obs::counter_inc("analyze.cache.hits");
+            return Arc::clone(q);
+        }
+        self.misses += 1;
+        obs::counter_inc("analyze.cache.misses");
+        let q = Arc::new(AnalyzedQuery::new(phr, subhedge));
+        bucket.push((key, Arc::clone(&q)));
+        q
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to analyze.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct analyses held.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_core::parse_hre;
+    use hedgex_core::phr::parse_phr;
+    use hedgex_hedge::Alphabet;
+
+    #[test]
+    fn cache_analyzes_each_query_once_and_keys_on_the_subhedge() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; b]", &mut ab).unwrap();
+        let same = parse_phr("[ε ; a ; b]", &mut ab).unwrap();
+        let e1 = parse_hre("b<ε>*", &mut ab).unwrap();
+
+        let mut cache = AnalysisCache::new();
+        let q1 = cache.get_or_analyze(&phr, None);
+        let q2 = cache.get_or_analyze(&same, None);
+        assert!(Arc::ptr_eq(&q1, &q2), "reparse hits the same analysis");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Same envelope, different subhedge: a distinct entry.
+        let q3 = cache.get_or_analyze(&phr, Some(&e1));
+        assert!(!Arc::ptr_eq(&q1, &q3));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+    }
+}

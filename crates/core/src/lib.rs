@@ -57,6 +57,7 @@
 pub mod compile;
 pub mod decompile;
 pub mod hre;
+pub mod keys;
 pub mod mark_down;
 pub mod mark_up;
 pub mod path_expr;
@@ -70,12 +71,13 @@ pub mod two_pass;
 pub use compile::compile_hre;
 pub use decompile::decompile_dha;
 pub use hre::{parse_hre, Hre};
+pub use keys::{canonical_key, fnv1a};
 pub use mark_down::{mark_run, MarkDown};
 pub use mark_up::MarkUp;
 pub use path_expr::{parse_path, PathExpr};
 pub use phr::{parse_phr, Pbhr, Phr};
 pub use phr_compile::CompiledPhr;
-pub use plan::{Plan, PlanCache, SharedPlanCache};
+pub use plan::{Plan, PlanCache, PlanFacts, SharedPlanCache};
 pub use query::{CompiledSelect, SelectQuery, SelectScratch};
 pub use schema::{transform_select, SelectionSchema};
 pub use two_pass::EvalScratch;

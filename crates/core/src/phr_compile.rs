@@ -28,7 +28,7 @@ use std::collections::HashMap;
 
 use hedgex_automata::{Nfa, SaturatingClasses, StateId};
 use hedgex_ha::product::product_many;
-use hedgex_ha::{determinize, Dha, HState};
+use hedgex_ha::{determinize, reduce_dha, Dha, HState};
 use hedgex_hedge::SymId;
 use hedgex_obs as obs;
 
@@ -46,6 +46,9 @@ pub struct PhrStats {
     /// Per component automaton (elder, younger for each triplet in order):
     /// `(NHA states, DHA states)` — the Theorem 1 blowup, componentwise.
     pub components: Vec<(u32, u32)>,
+    /// Per component: DHA states after dead-state reduction, parallel to
+    /// `components`. Equal to the raw DHA size when reduction is off.
+    pub reduced_components: Vec<u32>,
 }
 
 impl PhrStats {
@@ -57,6 +60,16 @@ impl PhrStats {
     /// Summed DHA states across components.
     pub fn total_dha_states(&self) -> u64 {
         self.components.iter().map(|&(_, d)| u64::from(d)).sum()
+    }
+
+    /// Summed component DHA states after reduction.
+    pub fn total_reduced_states(&self) -> u64 {
+        self.reduced_components.iter().map(|&d| u64::from(d)).sum()
+    }
+
+    /// Component states eliminated by the reduction pass.
+    pub fn pruned_states(&self) -> u64 {
+        self.total_dha_states() - self.total_reduced_states()
     }
 }
 
@@ -126,7 +139,22 @@ impl CompiledPhr {
     /// Compile a PHR. Exponential-time preprocessing (determinization of
     /// the component automata, of `≡`, and of the mirror automaton `N`), as
     /// Section 7 states; evaluation afterwards is linear per hedge.
+    ///
+    /// Component automata are dead-state reduced before the shared product
+    /// (see [`CompiledPhr::compile_with`] to opt out).
     pub fn compile(phr: &Phr) -> CompiledPhr {
+        CompiledPhr::compile_with(phr, true)
+    }
+
+    /// Compile with explicit control over dead-state reduction. Reduction
+    /// runs [`reduce_dha`] on every component between determinization and
+    /// the product: `F`-dead letters are normalized away and congruent
+    /// states merged, so states no accepting run can use never get
+    /// `class_step` rows. The reduced components compute the same
+    /// `sibling sequence ↦ F-membership` functions on every input, so
+    /// match sets are identical either way — `compile_with(phr, false)`
+    /// exists for benchmarks and property tests that verify exactly that.
+    pub fn compile_with(phr: &Phr, reduce: bool) -> CompiledPhr {
         assert!(
             phr.triplets.len() <= 64,
             "pointed hedge representations are limited to 64 triplets"
@@ -140,8 +168,13 @@ impl CompiledPhr {
             .flat_map(|t| [&t.elder, &t.younger])
             .map(|e| {
                 let nha = compile_hre(e);
-                let dha = determinize(&nha).dha;
+                let mut dha = determinize(&nha).dha;
                 stats.components.push((nha.num_states(), dha.num_states()));
+                if reduce {
+                    let _span = obs::span("core.phr_compile.reduce");
+                    dha = reduce_dha(&dha).0;
+                }
+                stats.reduced_components.push(dha.num_states());
                 dha
             })
             .collect();
@@ -171,13 +204,16 @@ impl CompiledPhr {
         );
         obs::counter_add("core.phr_compile.eq_classes", classes.num_classes() as u64);
         obs::counter_add("core.phr_compile.n_states", engine.n_accept.len() as u64);
+        obs::counter_add("core.phr_compile.pruned_states", stats.pruned_states());
         obs::event("core.phr_compile", || {
             format!(
-                "triplets={} nha_states={} dha_states={} m_states={} eq_classes={} \
-                 n_states={} signatures={}",
+                "triplets={} nha_states={} dha_states={} reduced_states={} pruned={} \
+                 m_states={} eq_classes={} n_states={} signatures={}",
                 phr.triplets.len(),
                 stats.total_nha_states(),
                 stats.total_dha_states(),
+                stats.total_reduced_states(),
+                stats.pruned_states(),
                 prod.dha.num_states(),
                 classes.num_classes(),
                 engine.n_accept.len(),
@@ -646,5 +682,31 @@ mod tests {
     fn compiled_phr_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CompiledPhr>();
+    }
+
+    #[test]
+    fn reduction_never_changes_match_sets() {
+        let mut ab = Alphabet::new();
+        for src in [
+            "[ε ; a ; ε]",
+            "[a* ; b ; a]|[ε ; b ; a*]",
+            "[(a|b)* ; a ; (a|b)*][(a|b)* ; b ; (a|b)*]",
+            "([ε ; a ; b*])*[b ; b ; ε]",
+        ] {
+            let phr = parse_phr(src, &mut ab).unwrap();
+            let reduced = CompiledPhr::compile_with(&phr, true);
+            let raw = CompiledPhr::compile_with(&phr, false);
+            assert!(reduced.stats.total_reduced_states() <= raw.stats.total_dha_states());
+            assert_eq!(raw.stats.pruned_states(), 0);
+            for doc in ["a b a", "b<a b> a", "a<b<a> b> b", "b b<b<a>>"] {
+                let h = hedgex_hedge::parse_hedge(doc, &mut ab).unwrap();
+                let f = hedgex_hedge::FlatHedge::from_hedge(&h);
+                assert_eq!(
+                    crate::two_pass::locate(&reduced, &f),
+                    crate::two_pass::locate(&raw, &f),
+                    "phr {src} on doc {doc}"
+                );
+            }
+        }
     }
 }

@@ -28,9 +28,28 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use hedgex_hedge::{FlatHedge, NodeId};
 use hedgex_obs as obs;
 
+pub use crate::keys::{canonical_key, fnv1a};
 use crate::phr::Phr;
 use crate::phr_compile::CompiledPhr;
 use crate::two_pass::{self, EvalScratch};
+
+/// Facts established about a query by static analysis (the `analyze`
+/// crate), attachable to a [`Plan`] via [`Plan::with_facts`].
+///
+/// The facts are *sound* claims about the query's behaviour on every
+/// document: a plan whose query is provably empty answers `locate` with ∅
+/// without touching the document, and `required_syms` lists symbols every
+/// matching document must contain (a sound prefilter for an index).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanFacts {
+    /// The query matches nothing on any document (or on any document of
+    /// the schema it was analyzed against).
+    pub known_empty: bool,
+    /// Human-readable reason when `known_empty`.
+    pub why_empty: Option<String>,
+    /// Symbols present in every document with at least one match.
+    pub required_syms: Vec<hedgex_hedge::SymId>,
+}
 
 /// An immutable, shareable execution plan for a PHR query.
 ///
@@ -40,6 +59,7 @@ use crate::two_pass::{self, EvalScratch};
 #[derive(Clone)]
 pub struct Plan {
     inner: Arc<CompiledPhr>,
+    facts: Option<Arc<PlanFacts>>,
 }
 
 impl Plan {
@@ -53,7 +73,20 @@ impl Plan {
     pub fn from_compiled(compiled: CompiledPhr) -> Plan {
         Plan {
             inner: Arc::new(compiled),
+            facts: None,
         }
+    }
+
+    /// Attach static-analysis facts to this plan. The caller vouches that
+    /// the facts describe the same query this plan compiles.
+    pub fn with_facts(mut self, facts: PlanFacts) -> Plan {
+        self.facts = Some(Arc::new(facts));
+        self
+    }
+
+    /// The attached analysis facts, if any.
+    pub fn facts(&self) -> Option<&PlanFacts> {
+        self.facts.as_deref()
     }
 
     /// The underlying compiled PHR.
@@ -61,14 +94,32 @@ impl Plan {
         &self.inner
     }
 
-    /// Locate all matches, allocating fresh buffers (cold-equivalent).
+    fn known_empty(&self) -> bool {
+        if self.facts.as_ref().is_some_and(|f| f.known_empty) {
+            obs::counter_inc("core.plan.empty_skips");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Locate all matches, allocating fresh buffers (cold-equivalent). A
+    /// plan proven empty by analysis returns ∅ without reading `h`.
     pub fn locate(&self, h: &FlatHedge) -> Vec<NodeId> {
+        if self.known_empty() {
+            return Vec::new();
+        }
         two_pass::locate(&self.inner, h)
     }
 
     /// Locate all matches into a reused scratch: the warm path. Returns the
-    /// matches as a borrow of the scratch.
+    /// matches as a borrow of the scratch. A plan proven empty by analysis
+    /// returns ∅ without reading `h`.
     pub fn locate_into<'s>(&self, h: &FlatHedge, scratch: &'s mut EvalScratch) -> &'s [NodeId] {
+        if self.known_empty() {
+            scratch.clear_located();
+            return scratch.located();
+        }
         two_pass::locate_into(&self.inner, h, scratch)
     }
 }
@@ -78,24 +129,6 @@ impl std::ops::Deref for Plan {
     fn deref(&self) -> &CompiledPhr {
         &self.inner
     }
-}
-
-/// The canonical form of a PHR: a structural rendering that is identical
-/// for structurally identical queries regardless of how they were built.
-pub fn canonical_key(phr: &Phr) -> String {
-    format!("{phr:?}")
-}
-
-/// FNV-1a over the canonical form — the default plan hash. Deterministic
-/// across processes (unlike `std`'s randomized hasher), so hashes are
-/// stable cache keys.
-pub fn fnv1a(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// A cache of compiled plans keyed by canonical query hash.
@@ -443,6 +476,31 @@ mod tests {
         assert_eq!(plan.locate(&f), vec![2]);
         let mut scratch = EvalScratch::new();
         assert_eq!(plan.locate_into(&f, &mut scratch), &[2]);
+    }
+
+    #[test]
+    fn known_empty_facts_short_circuit_both_locate_paths() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap();
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        // The document does match — but facts override with a proof of ∅
+        // (here fabricated, in production supplied by the analyzer), so
+        // both paths must return empty without evaluating.
+        let plan = Plan::compile(&phr).with_facts(PlanFacts {
+            known_empty: true,
+            why_empty: Some("test".into()),
+            required_syms: Vec::new(),
+        });
+        assert!(plan.locate(&f).is_empty());
+        let mut scratch = EvalScratch::new();
+        // Seed the scratch with stale matches to prove they are cleared.
+        let unfazed = Plan::compile(&phr);
+        assert_eq!(unfazed.locate_into(&f, &mut scratch), &[2]);
+        assert!(plan.locate_into(&f, &mut scratch).is_empty());
+        // Non-empty facts leave evaluation untouched.
+        let live = Plan::compile(&phr).with_facts(PlanFacts::default());
+        assert_eq!(live.locate(&f), vec![2]);
     }
 
     #[test]

@@ -75,6 +75,12 @@ impl EvalScratch {
     pub fn located(&self) -> &[NodeId] {
         &self.located
     }
+
+    /// Reset the match buffer without running a pass (used by plans that
+    /// prove ∅ statically and skip evaluation altogether).
+    pub(crate) fn clear_located(&mut self) {
+        self.located.clear();
+    }
 }
 
 /// Run the first traversal.

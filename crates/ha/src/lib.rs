@@ -31,10 +31,12 @@ pub mod nha;
 pub mod ops;
 pub mod paper;
 pub mod product;
+pub mod reduce;
 pub mod types;
 
 pub use determinize::determinize;
 pub use dha::{Dha, DhaBuilder, EvalScratch, HorizFn};
 pub use enumerate::enumerate_hedges;
 pub use nha::{Nha, NhaBuilder};
+pub use reduce::{reduce_dha, ReduceStats};
 pub use types::{HState, Leaf};

@@ -7,12 +7,20 @@
 //! hxq … --mark                                        # print marked XML
 //! hxq … --explain                                     # per-phase report
 //! hxq … -                                             # read from stdin
+//! hxq check '[…;figure;…]' --schema HRE               # static analysis,
+//!                                                     # no document at all
 //! ```
 //!
 //! Prints the Dewey addresses of located nodes (one per line), or with
 //! `--mark` the whole document with `hx:match="1"` on matches. Results go
 //! to stdout; diagnostics and `--explain` reports go to stderr. Exit code
 //! 0 on success, 1 on runtime errors, 2 on usage errors.
+//!
+//! `hxq check` decides satisfiability (absolute or against a schema),
+//! prints a witness document or a why-empty reason plus the query's
+//! required symbols, and optionally decides containment against a second
+//! query — all statically, without reading any document. Exit code 0 when
+//! satisfiable, 1 when provably empty, 2 on usage errors.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -52,7 +60,17 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
   --jobs N             spread the repeated runs over N worker threads, one
                        scratch per worker; N=1 is exactly the sequential path
   -h, --help           show this help
-  FILE                 an XML file, or '-' for stdin";
+  FILE                 an XML file, or '-' for stdin
+
+static analysis (no document involved):
+  hxq check QUERY [OPTIONS]
+    QUERY                  the query as a PHR, e.g. '[e1 ; name ; e2][…]*'
+    --subhedge HRE         additionally require the node's content to match
+    --schema HRE           decide satisfiability relative to this schema
+    --against QUERY2       also decide containment/equivalence vs QUERY2
+    --against-subhedge HRE subhedge condition of QUERY2
+    --metrics-json PATH    write phase timings and verdicts as JSON to PATH
+  exit code: 0 satisfiable, 1 provably empty, 2 usage error";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("hxq: {msg} (try 'hxq --help')");
@@ -137,11 +155,12 @@ fn print_report(report: &ExplainReport) {
         eprintln!("  {:<18} {:>12.3} ms", p.name, p.wall_ns as f64 / 1e6);
     }
     eprintln!(
-        "  components: {} (NHA states {}, DHA states {}, blowup {:.2}x)",
+        "  components: {} (NHA states {}, DHA states {}, blowup {:.2}x, pruned {})",
         report.components.len(),
         report.nha_states,
         report.dha_states,
-        report.blowup_ratio
+        report.blowup_ratio,
+        report.pruned_states
     );
     eprintln!(
         "  M states {}, eq-classes {} (elder used {}, younger used {}), N states {}",
@@ -335,7 +354,206 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+struct CheckArgs {
+    query: String,
+    subhedge: Option<String>,
+    schema: Option<String>,
+    against: Option<String>,
+    against_subhedge: Option<String>,
+    metrics_json: Option<String>,
+}
+
+fn parse_check_args(mut it: impl Iterator<Item = String>) -> Result<CheckArgs, ExitCode> {
+    let mut out = CheckArgs {
+        query: String::new(),
+        subhedge: None,
+        schema: None,
+        against: None,
+        against_subhedge: None,
+        metrics_json: None,
+    };
+    let mut have_query = false;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage_error(&format!("option '{flag}' needs a value")))
+        };
+        match arg.as_str() {
+            "--subhedge" => out.subhedge = Some(value("--subhedge")?),
+            "--schema" => out.schema = Some(value("--schema")?),
+            "--against" => out.against = Some(value("--against")?),
+            "--against-subhedge" => out.against_subhedge = Some(value("--against-subhedge")?),
+            "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Err(ExitCode::SUCCESS);
+            }
+            _ if arg.starts_with('-') => {
+                return Err(usage_error(&format!("unknown option '{arg}'")));
+            }
+            _ if !have_query => {
+                out.query = arg;
+                have_query = true;
+            }
+            _ => return Err(usage_error(&format!("unexpected argument '{arg}'"))),
+        }
+    }
+    if !have_query {
+        return Err(usage_error("'check' needs a query (a PHR)"));
+    }
+    if out.against_subhedge.is_some() && out.against.is_none() {
+        return Err(usage_error("'--against-subhedge' needs '--against'"));
+    }
+    Ok(out)
+}
+
+/// `hxq check`: static analysis only — parse, analyze, report. No document
+/// is read and no evaluation pass runs; the metrics JSON therefore
+/// contains exactly the phases `parse` and `analyze`.
+fn run_check(args: CheckArgs) -> ExitCode {
+    use hedgex::analyze::AnalyzedQuery;
+    use hedgex::hedge::print_hedge;
+    use hedgex_testkit::Json;
+
+    let mut ab = Alphabet::new();
+    let t_parse = Instant::now();
+    let phr = match parse_phr(&args.query, &mut ab) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&format!("query: {e}")),
+    };
+    let subhedge = match args.subhedge.as_deref() {
+        Some(src) => match hedgex::core::parse_hre(src, &mut ab) {
+            Ok(e) => Some(e),
+            Err(e) => return usage_error(&format!("subhedge: {e}")),
+        },
+        None => None,
+    };
+    let schema = match args.schema.as_deref() {
+        Some(src) => match hedgex::core::parse_hre(src, &mut ab) {
+            Ok(e) => Some(e),
+            Err(e) => return usage_error(&format!("schema: {e}")),
+        },
+        None => None,
+    };
+    let against = match args.against.as_deref() {
+        Some(src) => match parse_phr(src, &mut ab) {
+            Ok(p) => Some(p),
+            Err(e) => return usage_error(&format!("against: {e}")),
+        },
+        None => None,
+    };
+    let against_subhedge = match args.against_subhedge.as_deref() {
+        Some(src) => match hedgex::core::parse_hre(src, &mut ab) {
+            Ok(e) => Some(e),
+            Err(e) => return usage_error(&format!("against-subhedge: {e}")),
+        },
+        None => None,
+    };
+    let parse_ns = t_parse.elapsed().as_nanos() as u64;
+
+    let t_analyze = Instant::now();
+    let schema_dha = schema.as_ref().map(hedgex::core::mark_down::compile_to_dha);
+    let q = AnalyzedQuery::new(&phr, subhedge.as_ref());
+    let report = q.analyze(schema_dha.as_ref());
+    let containment = against.as_ref().map(|p2| {
+        let q2 = AnalyzedQuery::new(p2, against_subhedge.as_ref());
+        (q.contained_in(&q2), q2.contained_in(&q))
+    });
+    let analyze_ns = t_analyze.elapsed().as_nanos() as u64;
+
+    let sat = &report.satisfiability;
+    if sat.satisfiable {
+        let scope = if schema.is_some() {
+            " (within the schema)"
+        } else {
+            ""
+        };
+        println!("check: satisfiable{scope}");
+        if let Some(w) = &sat.witness {
+            println!("witness: {}", print_hedge(w, &ab));
+        }
+        if !report.required.is_empty() {
+            let names: Vec<&str> = report.required.iter().map(|&s| ab.sym_name(s)).collect();
+            println!("required symbols: {}", names.join(" "));
+        }
+    } else {
+        let why = sat
+            .why_empty
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "unsatisfiable".to_string());
+        println!("check: empty ({why})");
+    }
+    if let Some((fwd, back)) = &containment {
+        match (fwd.contained, back.contained) {
+            (true, true) => println!("containment: equivalent to the --against query"),
+            (true, false) => println!("containment: strictly contained in the --against query"),
+            (false, true) => println!("containment: strictly contains the --against query"),
+            (false, false) => println!("containment: incomparable with the --against query"),
+        }
+        for (cex, dir) in [(fwd, "query \\ against"), (back, "against \\ query")] {
+            if let Some(h) = &cex.counterexample {
+                println!("counterexample ({dir}): {}", print_hedge(h, &ab));
+            }
+        }
+    }
+
+    if let Some(path) = &args.metrics_json {
+        let phases = Json::Arr(vec![
+            Json::obj([
+                ("name", Json::Str("parse".into())),
+                ("wall_ns", Json::Num(parse_ns as f64)),
+            ]),
+            Json::obj([
+                ("name", Json::Str("analyze".into())),
+                ("wall_ns", Json::Num(analyze_ns as f64)),
+            ]),
+        ]);
+        let required = Json::Arr(
+            report
+                .required
+                .iter()
+                .map(|&s| Json::Str(ab.sym_name(s).to_string()))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("phases", phases),
+            ("satisfiable", Json::Bool(sat.satisfiable)),
+            (
+                "why_empty",
+                match sat.why_empty {
+                    Some(w) => Json::Str(w.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("required", required),
+        ];
+        if let Some((fwd, back)) = &containment {
+            fields.push(("contained_in_against", Json::Bool(fwd.contained)));
+            fields.push(("contains_against", Json::Bool(back.contained)));
+        }
+        let json = Json::obj(fields);
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("hxq: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if sat.satisfiable {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("check") {
+        argv.next();
+        return match parse_check_args(argv) {
+            Ok(a) => run_check(a),
+            Err(code) => code,
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,

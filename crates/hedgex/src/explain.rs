@@ -34,6 +34,10 @@ pub struct ComponentSizes {
     pub nha_states: u32,
     /// DHA states after Theorem 1 determinization.
     pub dha_states: u32,
+    /// DHA states after dead-state pruning and minimization (what the
+    /// product is actually built from; equals `dha_states` when pruning
+    /// was disabled or removed nothing).
+    pub dha_reduced: u32,
 }
 
 /// The structured result of [`explain`].
@@ -59,6 +63,9 @@ pub struct ExplainReport {
     pub younger_classes_used: usize,
     /// Mirror-automaton states materialized by the second traversal.
     pub n_states: usize,
+    /// Component DHA states removed by dead-state pruning before the
+    /// product was built (summed over components).
+    pub pruned_states: u64,
     /// Nodes in the document.
     pub nodes: usize,
     /// Located nodes (after the optional subhedge filter).
@@ -91,6 +98,7 @@ impl ExplainReport {
                     Json::obj([
                         ("nha_states", Json::Num(f64::from(c.nha_states))),
                         ("dha_states", Json::Num(f64::from(c.dha_states))),
+                        ("dha_reduced", Json::Num(f64::from(c.dha_reduced))),
                     ])
                 })
                 .collect(),
@@ -112,6 +120,7 @@ impl ExplainReport {
                 Json::Num(self.younger_classes_used as f64),
             ),
             ("n_states", Json::Num(self.n_states as f64)),
+            ("pruned_states", Json::Num(self.pruned_states as f64)),
             ("nodes", Json::Num(self.nodes as f64)),
             ("located", Json::Num(self.located as f64)),
             (
@@ -187,9 +196,11 @@ pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainRep
             .stats
             .components
             .iter()
-            .map(|&(n, d)| ComponentSizes {
+            .zip(&compiled.stats.reduced_components)
+            .map(|(&(n, d), &r)| ComponentSizes {
                 nha_states: n,
                 dha_states: d,
+                dha_reduced: r,
             })
             .collect(),
         nha_states,
@@ -200,6 +211,7 @@ pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainRep
         elder_classes_used: distinct(&fp.elder_class),
         younger_classes_used: distinct(&fp.younger_class),
         n_states: compiled.n_states_materialized(),
+        pruned_states: compiled.stats.pruned_states(),
         nodes: doc.num_nodes(),
         located: hits.len(),
         hits,

@@ -11,6 +11,9 @@
 //! * [`core`] — the paper's contribution: hedge regular expressions,
 //!   pointed hedge representations, selection queries, two-pass linear
 //!   evaluation, match-identifying automata, schema transformation;
+//! * [`analyze`] — static query analysis: satisfiability (absolute and
+//!   schema-relative), containment/equivalence with counterexamples,
+//!   required-symbol extraction, plan facts;
 //! * [`xml`] — XML parsing/serialization and synthetic corpora;
 //! * [`baseline`] — quadratic/interpretive baselines for benchmarking;
 //! * [`par`] — scoped worker pool and parallel corpus/plan evaluation.
@@ -20,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use hedgex_analyze as analyze;
 pub use hedgex_automata as automata;
 pub use hedgex_baseline as baseline;
 pub use hedgex_core as core;
@@ -34,13 +38,14 @@ pub use explain::{explain, ExplainReport};
 
 /// Everything most programs need, one import away.
 pub mod prelude {
+    pub use hedgex_analyze::{analyze, AnalysisCache, AnalyzedQuery, QueryAnalysis};
     pub use hedgex_core::hre::parse_hre;
     pub use hedgex_core::path_expr::parse_path;
     pub use hedgex_core::phr::parse_phr;
     pub use hedgex_core::query::{CompiledSelect, SelectQuery, SelectScratch};
     pub use hedgex_core::schema::transform_select;
     pub use hedgex_core::two_pass;
-    pub use hedgex_core::{CompiledPhr, EvalScratch, Plan, PlanCache, SharedPlanCache};
+    pub use hedgex_core::{CompiledPhr, EvalScratch, Plan, PlanCache, PlanFacts, SharedPlanCache};
     pub use hedgex_ha::{determinize, Dha, Nha};
     pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
     pub use hedgex_par::ParallelEvaluator;

@@ -26,6 +26,10 @@ echo "== cargo test -q --offline --no-default-features (parallel) =="
 # The pool must stay deterministic with the obs counters compiled out.
 cargo test -q --offline --no-default-features -p hedgex --test parallel
 
+echo "== cargo test -q --offline --no-default-features (analysis properties) =="
+# Analysis verdicts and pruning equivalence must not depend on instrumentation.
+cargo test -q --offline --no-default-features -p hedgex --test analysis_props
+
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
@@ -37,6 +41,12 @@ for f in crates/*/src/lib.rs; do
   grep -q '^#!\[forbid(unsafe_code)\]$' "$f" \
     || { echo "missing #![forbid(unsafe_code)] in $f"; exit 1; }
 done
+
+echo "== no debug/stub macros in crate sources =="
+# dbg!/todo!/unimplemented! must never ship; tests may use them, sources not.
+if grep -rnE '(dbg!\(|todo!\(|unimplemented!\()' crates/*/src; then
+  echo "forbidden macro found in crate sources"; exit 1
+fi
 
 echo "== E6 warm-throughput bench (smoke mode: 1 sample) =="
 HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench warm

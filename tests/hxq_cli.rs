@@ -324,3 +324,91 @@ fn jobs_matches_sequential_output_byte_for_byte() {
 
     std::fs::remove_file(&xml).ok();
 }
+
+#[test]
+fn check_satisfiable_exits_0_with_witness_and_required_symbols() {
+    let out = hxq(&["check", "[ε ; a ; b]"]);
+    assert_eq!(out.status.code(), Some(0));
+    let txt = String::from_utf8_lossy(&out.stdout);
+    assert!(txt.contains("check: satisfiable"), "{txt}");
+    assert!(txt.contains("witness:"), "{txt}");
+    assert!(txt.contains("required symbols:"), "{txt}");
+}
+
+#[test]
+fn check_schema_unsat_exits_1_with_analysis_only_metrics() {
+    let json_path = scratch("check-unsat.json");
+    let out = hxq(&[
+        "check",
+        "[ε ; c ; ε]",
+        "--schema",
+        "(a<%z>|b<%z>)*^z",
+        "--metrics-json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "provably empty must exit 1");
+    let txt = String::from_utf8_lossy(&out.stdout);
+    assert!(txt.contains("check: empty"), "{txt}");
+    assert!(
+        txt.contains("schema"),
+        "reason must mention the schema: {txt}"
+    );
+
+    // Zero evaluation work: the metrics record only parse + analyze —
+    // no first_pass/second_pass ever ran.
+    let raw = std::fs::read_to_string(&json_path).expect("metrics written");
+    assert!(!raw.contains("first_pass"), "{raw}");
+    assert!(!raw.contains("second_pass"), "{raw}");
+    let json = Json::parse(&raw).expect("valid JSON");
+    let phases: Vec<String> = json
+        .get("phases")
+        .and_then(Json::as_arr)
+        .expect("phases array")
+        .iter()
+        .map(|p| {
+            p.get("name")
+                .and_then(Json::as_str)
+                .expect("phase name")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(phases, ["parse", "analyze"]);
+    assert!(matches!(json.get("satisfiable"), Some(Json::Bool(false))));
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
+fn check_containment_verdicts_and_counterexamples() {
+    // Narrow (no siblings allowed) is strictly contained in wide.
+    let wide = "[(a<%z>|b<%z>)*^z ; a ; (a<%z>|b<%z>)*^z]";
+    let out = hxq(&["check", "[ε ; a ; ε]", "--against", wide]);
+    assert_eq!(out.status.code(), Some(0));
+    let txt = String::from_utf8_lossy(&out.stdout);
+    assert!(txt.contains("strictly contained in"), "{txt}");
+    assert!(txt.contains("counterexample (against \\ query):"), "{txt}");
+
+    // Equivalence of a query with itself.
+    let out = hxq(&["check", wide, "--against", wide]);
+    assert_eq!(out.status.code(), Some(0));
+    let txt = String::from_utf8_lossy(&out.stdout);
+    assert!(txt.contains("equivalent"), "{txt}");
+}
+
+#[test]
+fn check_usage_errors_exit_2() {
+    for (args, needle) in [
+        (&["check"][..], "needs a query"),
+        (&["check", "[ε ; a ; ε]", "--schema"][..], "needs a value"),
+        (&["check", "not a phr"][..], "query:"),
+        (&["check", "[ε ; a ; ε]", "--bogus"][..], "unknown option"),
+        (
+            &["check", "[ε ; a ; ε]", "--against-subhedge", "ε"][..],
+            "needs '--against'",
+        ),
+    ] {
+        let out = hxq(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+    }
+}
