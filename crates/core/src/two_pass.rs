@@ -108,6 +108,56 @@ pub fn first_pass(phr: &CompiledPhr, h: &FlatHedge) -> FirstPass {
     }
 }
 
+/// The first traversal's per-group step, factored out of the tree walk so
+/// any driver can use it — the materialized evaluator below feeds it sibling
+/// groups collected from a [`FlatHedge`], and the streaming evaluator
+/// (`hedgex-stream`) feeds it the buffered children of each element as its
+/// close tag arrives.
+///
+/// The group is abstract: `state_at(i)` yields the `M`-state of the `i`-th
+/// sibling (0-based, left to right, `i < len`), and the computed ≡-classes
+/// are pushed back through `elder(i, class)` / `younger(i, class)` — one
+/// call per position each, elders in ascending order, youngers in
+/// descending order. `f`/`nf` are the class-indexed double buffers for the
+/// right-to-left transition-function composition; reusing them across calls
+/// is what keeps the pass allocation-free (see the module docs for why
+/// composition, not DFA restarts, is required for linearity).
+pub fn sibling_classes(
+    phr: &CompiledPhr,
+    len: usize,
+    state_at: impl Fn(usize) -> HState,
+    f: &mut Vec<u32>,
+    nf: &mut Vec<u32>,
+    mut elder: impl FnMut(usize, u32),
+    mut younger: impl FnMut(usize, u32),
+) {
+    let ncl = phr.classes.num_classes();
+    let start = phr.classes.start();
+    // Prefix classes, left to right.
+    let mut c = start;
+    for i in 0..len {
+        elder(i, c);
+        c = phr.class_step(c, state_at(i));
+    }
+    // Suffix classes, right to left, by transition-function composition.
+    // f maps "class before reading the suffix" → "class after". Each of
+    // the `len` compositions costs exactly |Q*/≡| table reads into an
+    // already-allocated buffer — O(len · |Q*/≡|), zero allocation.
+    f.clear();
+    f.extend(0..ncl as u32); // identity
+    nf.clear();
+    nf.resize(ncl, 0);
+    for i in (0..len).rev() {
+        younger(i, f[start as usize]);
+        // f := f ∘ δ_q  (read q first, then the old suffix).
+        let delta = phr.class_step_row(state_at(i));
+        for cls in 0..ncl {
+            nf[cls] = f[delta[cls] as usize];
+        }
+        std::mem::swap(f, nf);
+    }
+}
+
 /// The class computation of the first traversal, over already-computed
 /// `M`-states, writing into caller-owned buffers.
 #[allow(clippy::too_many_arguments)] // the buffers ARE the interface
@@ -138,32 +188,15 @@ fn first_pass_core(
     let mut process = |group: &[NodeId], elder_class: &mut [u32], younger_class: &mut [u32]| {
         groups += 1;
         max_group = max_group.max(group.len() as u64);
-        // Prefix classes, left to right.
-        let mut c = start;
-        for &id in group {
-            elder_class[id as usize] = c;
-            c = phr.class_step(c, states[id as usize]);
-        }
-        // Suffix classes, right to left, by transition-function composition.
-        // f maps "class before reading the suffix" → "class after". The
-        // f/nf pair lives outside the per-node loop and swaps each step:
-        // each of the |group| compositions costs exactly |Q*/≡| table reads
-        // into an already-allocated buffer, which is what keeps the whole
-        // traversal linear — O(nodes · |Q*/≡|) with zero per-node
-        // allocation, instead of a fresh table per node.
-        f.clear();
-        f.extend(0..ncl as u32); // identity
-        nf.clear();
-        nf.resize(ncl, 0);
-        for &id in group.iter().rev() {
-            younger_class[id as usize] = f[start as usize];
-            // f := f ∘ δ_q  (read q first, then the old suffix).
-            let delta = phr.class_step_row(states[id as usize]);
-            for cls in 0..ncl {
-                nf[cls] = f[delta[cls] as usize];
-            }
-            std::mem::swap(f, nf);
-        }
+        sibling_classes(
+            phr,
+            group.len(),
+            |i| states[group[i] as usize],
+            f,
+            nf,
+            |i, c| elder_class[group[i] as usize] = c,
+            |i, c| younger_class[group[i] as usize] = c,
+        );
     };
 
     process(h.roots(), elder_class, younger_class);

@@ -1,0 +1,77 @@
+//! Buffer recycling for drivers that open and close many short-lived
+//! state words — most prominently the streaming evaluator, where every
+//! open element borrows buffers for its children's ids and `M`-states and
+//! returns them at the close tag. Pooling bounds allocations by the
+//! *deepest simultaneously open path* instead of the node count.
+
+/// A free list of `Vec<u32>` word buffers.
+///
+/// [`take`](WordPool::take) hands out a cleared buffer (reusing a returned
+/// one when available), [`put`](WordPool::put) returns it. Capacity is
+/// retained across the take/put cycle, so a long run converges to zero
+/// allocation: the pool holds at most as many buffers as were ever live at
+/// once.
+#[derive(Debug, Default)]
+pub struct WordPool {
+    free: Vec<Vec<u32>>,
+}
+
+impl WordPool {
+    /// An empty pool.
+    pub fn new() -> WordPool {
+        WordPool::default()
+    }
+
+    /// Borrow a cleared buffer, recycling a returned one if possible.
+    pub fn take(&mut self) -> Vec<u32> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool, keeping its capacity.
+    pub fn put(&mut self, mut buf: Vec<u32>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// How many buffers are parked in the free list (for tests asserting
+    /// the pool, not the document, owns the steady-state allocations).
+    pub fn parked(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_with_capacity() {
+        let mut pool = WordPool::new();
+        let mut a = pool.take();
+        a.extend(0..100);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.parked(), 1);
+        let b = pool.take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "capacity survives the cycle");
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn pool_size_tracks_peak_liveness() {
+        let mut pool = WordPool::new();
+        let bufs: Vec<_> = (0..3).map(|_| pool.take()).collect();
+        for b in bufs {
+            pool.put(b);
+        }
+        // Re-borrowing the same three never grows the free list.
+        for _ in 0..10 {
+            let x = pool.take();
+            let y = pool.take();
+            pool.put(x);
+            pool.put(y);
+        }
+        assert_eq!(pool.parked(), 3);
+    }
+}

@@ -7,6 +7,9 @@
 //! hxq … --mark                                        # print marked XML
 //! hxq … --explain                                     # per-phase report
 //! hxq … -                                             # read from stdin
+//! hxq --stream --path '…' -                           # evaluate during the
+//!                                                     # parse, O(depth) memory
+//! hxq --stream --exists --path '…' doc.xml            # stop at first match
 //! hxq check '[…;figure;…]' --schema HRE               # static analysis,
 //!                                                     # no document at all
 //! ```
@@ -14,7 +17,9 @@
 //! Prints the Dewey addresses of located nodes (one per line), or with
 //! `--mark` the whole document with `hx:match="1"` on matches. Results go
 //! to stdout; diagnostics and `--explain` reports go to stderr. Exit code
-//! 0 on success, 1 on runtime errors, 2 on usage errors.
+//! 0 on success, 1 on runtime errors (malformed or truncated input
+//! included), 2 on usage errors; with `--exists`, 0 means some node
+//! matched and 1 means none did.
 //!
 //! `hxq check` decides satisfiability (absolute or against a schema),
 //! prints a witness document or a why-empty reason plus the query's
@@ -39,6 +44,8 @@ struct Args {
     metrics_json: Option<String>,
     repeat: Option<u64>,
     jobs: Option<u64>,
+    stream: bool,
+    exists: bool,
     file: Option<String>,
 }
 
@@ -59,6 +66,12 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
                        and one scratch; print aggregate wall time to stderr
   --jobs N             spread the repeated runs over N worker threads, one
                        scratch per worker; N=1 is exactly the sequential path
+  --stream             evaluate during the parse (push-based): the document
+                       is never materialized, memory is bounded by its depth;
+                       incompatible with --mark/--subhedge/--explain/
+                       --metrics-json/--repeat/--jobs
+  --exists             print nothing; exit 0 if any node matches, 1 if none
+                       (with --stream, stops reading at the first match)
   -h, --help           show this help
   FILE                 an XML file, or '-' for stdin
 
@@ -88,6 +101,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         metrics_json: None,
         repeat: None,
         jobs: None,
+        stream: false,
+        exists: false,
         file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -103,6 +118,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--mark" => out.mark = true,
             "--attrs" => out.keep_attrs = true,
             "--explain" => out.explain = true,
+            "--stream" => out.stream = true,
+            "--exists" => out.exists = true,
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
             "--repeat" => {
                 let n = value("--repeat")?;
@@ -145,6 +162,25 @@ fn parse_args() -> Result<Args, ExitCode> {
     }
     if out.path.is_some() && out.phr.is_some() {
         return Err(usage_error("--path and --phr are mutually exclusive"));
+    }
+    if out.stream {
+        for (on, flag) in [
+            (out.mark, "--mark"),
+            (out.subhedge.is_some(), "--subhedge"),
+            (out.explain, "--explain"),
+            (out.metrics_json.is_some(), "--metrics-json"),
+            (out.repeat.is_some(), "--repeat"),
+            (out.jobs.is_some(), "--jobs"),
+        ] {
+            if on {
+                return Err(usage_error(&format!(
+                    "'--stream' is incompatible with '{flag}'"
+                )));
+            }
+        }
+    }
+    if out.exists && out.mark {
+        return Err(usage_error("'--exists' is incompatible with '--mark'"));
     }
     Ok(out)
 }
@@ -243,7 +279,59 @@ fn locate_repeated(
     hits
 }
 
-fn run(args: Args) -> Result<(), String> {
+/// `--stream`: evaluate push-based, straight off the parser's event
+/// stream. The document is never materialized — path queries run the
+/// single top-down DFA (and `--exists` aborts the parse at the first
+/// match); PHR queries stream the first traversal and retain only the
+/// per-node class table. Dewey output is byte-identical to the
+/// materialized path.
+fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
+    let cfg = HedgeConfig {
+        keep_text: true,
+        keep_attrs: args.keep_attrs,
+    };
+    let mut ab = Alphabet::new();
+    let hits_found: bool;
+    let mut lines: Vec<String> = Vec::new();
+    if let Some(p) = &args.path {
+        let path = parse_path(p, &mut ab).map_err(|e| e.to_string())?;
+        let mut sink = PathStream::new(&path, &ab)
+            .exists(args.exists)
+            .collect_deweys(!args.exists);
+        stream_xml(src, &mut ab, cfg, &mut sink).map_err(|e| e.to_string())?;
+        sink.finish();
+        hits_found = sink.found();
+        for d in sink.deweys() {
+            let dewey: Vec<String> = d.iter().map(u32::to_string).collect();
+            lines.push(format!("/{}", dewey.join("/")));
+        }
+    } else {
+        let phr = parse_phr(args.phr.as_deref().expect("validated"), &mut ab)
+            .map_err(|e| e.to_string())?;
+        let compiled = CompiledPhr::compile(&phr);
+        let mut sink = PhrStream::new(&compiled);
+        stream_xml(src, &mut ab, cfg, &mut sink).map_err(|e| e.to_string())?;
+        let hits = sink.finish().to_vec();
+        hits_found = !hits.is_empty();
+        for &n in &hits {
+            let dewey: Vec<String> = sink.dewey(n).iter().map(u32::to_string).collect();
+            lines.push(format!("/{}", dewey.join("/")));
+        }
+    }
+    if args.exists {
+        return Ok(if hits_found {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+    for line in lines {
+        println!("{line}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
     let src = match args.file.as_deref() {
         Some("-") => {
             let mut s = String::new();
@@ -255,6 +343,10 @@ fn run(args: Args) -> Result<(), String> {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
         None => unreachable!("validated"),
     };
+
+    if args.stream {
+        return run_stream(&src, &args);
+    }
 
     let mut ab = Alphabet::new();
     let doc = parse_xml(&src).map_err(|e| e.to_string())?;
@@ -329,6 +421,25 @@ fn run(args: Args) -> Result<(), String> {
         }
     };
 
+    if args.exists {
+        // grep -q semantics: no output, exit 0 found / 1 not found.
+        // (--explain/--metrics-json still report below.)
+        if let Some(report) = &report {
+            if args.explain {
+                print_report(report);
+            }
+            if let Some(path) = &args.metrics_json {
+                std::fs::write(path, format!("{}\n", report.to_json()))
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        return Ok(if hits.is_empty() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
     if args.mark {
         let mut marks = vec![false; flat.num_nodes()];
         for &n in &hits {
@@ -351,7 +462,7 @@ fn run(args: Args) -> Result<(), String> {
                 .map_err(|e| format!("{path}: {e}"))?;
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 struct CheckArgs {
@@ -559,7 +670,7 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
     match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("hxq: {msg}");
             ExitCode::FAILURE

@@ -16,7 +16,9 @@
 //!   required-symbol extraction, plan facts;
 //! * [`xml`] — XML parsing/serialization and synthetic corpora;
 //! * [`baseline`] — quadratic/interpretive baselines for benchmarking;
-//! * [`par`] — scoped worker pool and parallel corpus/plan evaluation.
+//! * [`par`] — scoped worker pool and parallel corpus/plan evaluation;
+//! * [`stream`] — push-based streaming evaluation: answer queries during
+//!   the XML parse with memory bounded by document depth.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `hedgex-core`
 //! crate docs for the paper-to-module map.
@@ -31,6 +33,7 @@ pub use hedgex_ha as ha;
 pub use hedgex_hedge as hedge;
 pub use hedgex_obs as obs;
 pub use hedgex_par as par;
+pub use hedgex_stream as stream;
 pub use hedgex_xml as xml;
 
 pub mod explain;
@@ -49,5 +52,6 @@ pub mod prelude {
     pub use hedgex_ha::{determinize, Dha, Nha};
     pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
     pub use hedgex_par::ParallelEvaluator;
+    pub use hedgex_stream::{replay_flat, stream_xml, HedgeSink, PathStream, PhrStream};
     pub use hedgex_xml::{parse_xml, to_hedge, write_xml, HedgeConfig};
 }

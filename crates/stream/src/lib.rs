@@ -1,0 +1,90 @@
+//! Push-based streaming evaluation: answer queries *during* the XML parse.
+//!
+//! The materialized pipeline (`parse_xml` → `to_hedge` → `FlatHedge` →
+//! `locate`) holds the whole document in memory — cost proportional to
+//! document *size*. Both of the paper's evaluators admit a push-based
+//! formulation whose working set is proportional to document *depth*:
+//!
+//! * **Classical path expressions** (Section 8): the single top-down DFA
+//!   only ever needs the states of the currently open ancestor chain —
+//!   [`PathStream`] streams fully, and in `exists` mode aborts the parse on
+//!   the first accepting node.
+//! * **General PHRs** (Sections 6–7): the bottom-up first traversal is
+//!   driven by close events — each open element buffers its children's
+//!   `M`-states, and the close tag finishes the sibling group via
+//!   [`hedgex_core::two_pass::sibling_classes`]. [`PhrStream`] retains only
+//!   the O(n) per-node class table the second traversal needs (symbol,
+//!   parent, elder/younger ≡-class per node); everything else — frames,
+//!   child-state words, scratch — is bounded by the deepest open path.
+//!
+//! Both evaluators implement [`HedgeSink`], fed either by
+//! [`stream_xml`] (XML text → events, via `hedgex-xml`'s event parser) or
+//! by [`replay_flat`] (an already-materialized [`hedgex_hedge::FlatHedge`]
+//! — the bridge the differential test suite uses to prove streamed ==
+//! materialized on identical inputs). Node ids assigned by the sinks are
+//! preorder ranks, so they coincide with materialized
+//! [`hedgex_hedge::NodeId`]s and match sets compare with `==`.
+//!
+//! See DESIGN.md §11 for the invariants and EXPERIMENTS.md E9 for the
+//! throughput/peak-memory measurements.
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod path;
+pub mod phr;
+
+pub use driver::{replay_flat, stream_xml, XmlDriver};
+pub use path::PathStream;
+pub use phr::PhrStream;
+
+use hedgex_ha::Leaf;
+use hedgex_hedge::SymId;
+
+/// A push-based consumer of hedge structure events, in document order.
+///
+/// Every callback returns `true` to keep going or `false` to request an
+/// early stop (drivers abort the parse and report how far they got).
+/// A well-formed event stream is balanced: every `open` is eventually
+/// matched by a `close`, and `leaf`/nested events happen in between.
+pub trait HedgeSink {
+    /// A Σ node opens (its children follow, then a matching `close`).
+    fn open(&mut self, a: SymId) -> bool;
+    /// A childless leaf: a variable or substitution symbol.
+    fn leaf(&mut self, l: Leaf) -> bool;
+    /// The most recent unmatched `open` closes.
+    fn close(&mut self) -> bool;
+}
+
+/// Counters a streaming evaluator gathers while consuming events — the
+/// bench's peak-memory proxy and the early-exit evidence. Also flushed to
+/// `hedgex-obs` (`stream.events`, `stream.depth_high_water`,
+/// `stream.early_exits`) by the sinks' `finish` methods.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total events consumed (open + leaf + close).
+    pub events: u64,
+    /// Deepest simultaneously-open element chain.
+    pub depth_high_water: usize,
+    /// Peak count of *live* (transient) entries: open frames plus buffered
+    /// sibling states for [`PhrStream`], the open chain itself for
+    /// [`PathStream`]. The streaming claim is that this — not the node
+    /// count — bounds working memory beyond the retained pass-2 table.
+    pub live_high_water: usize,
+    /// Whether evaluation requested an early stop (`exists` mode).
+    pub early_exit: bool,
+}
+
+impl StreamStats {
+    pub(crate) fn bump_event(&mut self) {
+        self.events += 1;
+    }
+
+    pub(crate) fn flush_obs(&self) {
+        hedgex_obs::counter_add("stream.events", self.events);
+        hedgex_obs::histogram_record("stream.depth_high_water", self.depth_high_water as u64);
+        if self.early_exit {
+            hedgex_obs::counter_inc("stream.early_exits");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Streaming classical path expressions (Section 8).
+//!
+//! The degenerate case streams *fully*: the top-down DFA only ever needs
+//! the state of each currently open ancestor, so the whole evaluator is a
+//! stack of DFA states plus a stack of sibling counters for Dewey
+//! reconstruction — memory exactly proportional to depth, independent of
+//! both node count and match count (unless matches are collected). In
+//! `exists` mode the first accepting node aborts the parse: the driver
+//! stops reading input, which is the streaming win no materialized
+//! evaluator can have.
+
+use hedgex_automata::{DenseDfa, Nfa, StateId};
+use hedgex_core::path_expr::PathExpr;
+use hedgex_ha::Leaf;
+use hedgex_hedge::{Alphabet, NodeId, SymId};
+
+use crate::{HedgeSink, StreamStats};
+
+/// A [`HedgeSink`] evaluating a classical path expression with one
+/// top-down DFA, O(depth) state.
+///
+/// Compile with [`PathStream::new`] *after* interning the query (the dense
+/// table must cover the query's own symbols; symbols first seen later in
+/// the document stream take the DFA's co-finite edge, which is exactly the
+/// transition a never-mentioned name deserves).
+pub struct PathStream {
+    dense: DenseDfa<SymId>,
+    exists: bool,
+    collect_deweys: bool,
+    /// DFA state per open element (the ancestor chain).
+    stack: Vec<StateId>,
+    /// Dewey counters: `counts[d]` is the number of children seen so far at
+    /// depth `d`; always one longer than `stack`.
+    counts: Vec<u32>,
+    /// Preorder rank of the next node, kept aligned with materialized
+    /// [`NodeId`]s (leaves consume ranks too).
+    next_id: u32,
+    located: Vec<NodeId>,
+    deweys: Vec<Vec<u32>>,
+    stats: StreamStats,
+}
+
+impl PathStream {
+    /// Compile `path` against the symbols interned in `ab` so far.
+    pub fn new(path: &PathExpr, ab: &Alphabet) -> PathStream {
+        let dfa = Nfa::from_regex(&path.regex).to_dfa();
+        let syms: Vec<SymId> = ab.syms().collect();
+        PathStream {
+            dense: DenseDfa::compile(&dfa, &syms),
+            exists: false,
+            collect_deweys: false,
+            stack: Vec::new(),
+            counts: vec![0],
+            next_id: 0,
+            located: Vec::new(),
+            deweys: Vec::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Stop the stream at the first match (grep's `-q`): the driver aborts
+    /// the parse, [`StreamStats::early_exit`] is set, and `located` holds
+    /// that single witness.
+    pub fn exists(mut self, on: bool) -> PathStream {
+        self.exists = on;
+        self
+    }
+
+    /// Record the Dewey address of every match as it is found (costs
+    /// O(depth) per match; without it, memory is independent of matches'
+    /// addresses).
+    pub fn collect_deweys(mut self, on: bool) -> PathStream {
+        self.collect_deweys = on;
+        self
+    }
+
+    /// Flush obs counters and return the matches in document order.
+    pub fn finish(&mut self) -> &[NodeId] {
+        self.stats.flush_obs();
+        &self.located
+    }
+
+    /// The matches found so far.
+    pub fn located(&self) -> &[NodeId] {
+        &self.located
+    }
+
+    /// Dewey addresses of the matches (when collected), aligned with
+    /// [`located`](PathStream::located).
+    pub fn deweys(&self) -> &[Vec<u32>] {
+        &self.deweys
+    }
+
+    /// Event/memory counters gathered while streaming.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Whether any node matched.
+    pub fn found(&self) -> bool {
+        !self.located.is_empty()
+    }
+}
+
+impl HedgeSink for PathStream {
+    fn open(&mut self, a: SymId) -> bool {
+        self.stats.bump_event();
+        let id = self.next_id;
+        self.next_id += 1;
+        *self.counts.last_mut().expect("counts is never empty") += 1;
+        let from = self
+            .stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.dense.start());
+        let s = self.dense.step(from, &a);
+        let hit = self.dense.is_accepting(s);
+        if hit {
+            self.located.push(id);
+            if self.collect_deweys {
+                self.deweys.push(self.counts.clone());
+            }
+        }
+        self.stack.push(s);
+        self.counts.push(0);
+        self.stats.depth_high_water = self.stats.depth_high_water.max(self.stack.len());
+        self.stats.live_high_water = self.stats.live_high_water.max(self.stack.len());
+        if hit && self.exists {
+            self.stats.early_exit = true;
+            return false;
+        }
+        true
+    }
+
+    fn leaf(&mut self, _l: Leaf) -> bool {
+        self.stats.bump_event();
+        self.next_id += 1;
+        *self.counts.last_mut().expect("counts is never empty") += 1;
+        true
+    }
+
+    fn close(&mut self) -> bool {
+        self.stats.bump_event();
+        if self.stack.pop().is_some() {
+            self.counts.pop();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay_flat;
+    use hedgex_core::path_expr::parse_path;
+    use hedgex_hedge::{parse_hedge, FlatHedge};
+
+    fn check(path_src: &str, doc_src: &str) {
+        let mut ab = Alphabet::new();
+        let path = parse_path(path_src, &mut ab).unwrap();
+        let h = parse_hedge(doc_src, &mut ab).unwrap();
+        let flat = FlatHedge::from_hedge(&h);
+        let mut sink = PathStream::new(&path, &ab).collect_deweys(true);
+        assert!(replay_flat(&flat, &mut sink));
+        let streamed = sink.finish().to_vec();
+        assert_eq!(streamed, path.locate(&flat), "{path_src} on {doc_src}");
+        for (i, &n) in streamed.iter().enumerate() {
+            assert_eq!(sink.deweys()[i], flat.dewey(n), "dewey of {n}");
+        }
+    }
+
+    #[test]
+    fn matches_materialized_locate() {
+        check("a", "a b a<a b>");
+        check("a* b", "a<a<b> b> b");
+        check("(a|b) b", "a<b<b> a> b<b>");
+        check("a b?", "a<b a<b>>");
+    }
+
+    #[test]
+    fn symbols_interned_after_compile_take_the_cofinite_edge() {
+        let mut ab = Alphabet::new();
+        let path = parse_path("a b", &mut ab).unwrap();
+        let mut sink = PathStream::new(&path, &ab);
+        // `c` is interned only now — after the dense table was built.
+        let c = ab.sym("c");
+        let a = ab.get_sym("a").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        assert!(sink.open(a));
+        assert!(sink.open(c));
+        assert!(sink.close());
+        assert!(sink.open(b));
+        assert!(sink.close());
+        assert!(sink.close());
+        assert_eq!(sink.finish(), &[2]);
+    }
+
+    #[test]
+    fn exists_stops_at_first_match() {
+        let mut ab = Alphabet::new();
+        let path = parse_path("a", &mut ab).unwrap();
+        let h = parse_hedge("b a a a", &mut ab).unwrap();
+        let flat = FlatHedge::from_hedge(&h);
+        let mut sink = PathStream::new(&path, &ab).exists(true);
+        assert!(
+            !replay_flat(&flat, &mut sink),
+            "driver must report the stop"
+        );
+        assert_eq!(sink.finish(), &[1]);
+        let stats = sink.stats();
+        assert!(stats.early_exit);
+        assert!(stats.events < 8, "stopped after {} events", stats.events);
+    }
+}

@@ -28,7 +28,7 @@ pub mod parser;
 pub mod writer;
 
 pub use corpus::{docbook, DocbookConfig};
-pub use parser::{parse_xml, XmlError, XmlNode};
+pub use parser::{parse_xml, parse_xml_stream, Flow, StreamOutcome, StreamSink, XmlError, XmlNode};
 pub use writer::write_xml;
 
 use hedgex_hedge::{Alphabet, Hedge, Tree};

@@ -78,6 +78,73 @@ pub fn parse_xml(src: &str) -> Result<Vec<XmlNode>, XmlError> {
     Ok(roots)
 }
 
+/// A consumer decision after each streamed event: keep parsing, or abort
+/// (e.g. an `exists`-style query already found its answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep feeding events.
+    Continue,
+    /// Stop the parse; `parse_xml_stream` returns [`StreamOutcome::Stopped`].
+    Stop,
+}
+
+/// How a streaming parse ended (when no [`XmlError`] occurred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOutcome {
+    /// The whole input was consumed and was well-formed.
+    Finished,
+    /// The sink requested an early stop at byte offset `pos`.
+    Stopped {
+        /// Byte offset just past the event that triggered the stop.
+        pos: usize,
+    },
+}
+
+/// A push-based consumer of XML structure events.
+///
+/// `parse_xml_stream` calls these in document order: `open_element` at each
+/// start tag (self-closing elements get an immediate `close_element`), `text`
+/// for each maximal run of character data inside an element (entities and
+/// CDATA already resolved, exactly the runs the tree parser would store as
+/// [`XmlNode::Text`]), and `close_element` at each end tag. Top-level
+/// whitespace is dropped and top-level character data is a well-formedness
+/// error, mirroring [`parse_xml`] — neither reaches the sink.
+pub trait StreamSink {
+    /// A start tag with its attributes in document order.
+    fn open_element(&mut self, name: &str, attrs: &[(String, String)]) -> Flow;
+    /// Coalesced character data inside the current element.
+    fn text(&mut self, text: &str) -> Flow;
+    /// The end tag matching the most recent unclosed `open_element`.
+    fn close_element(&mut self) -> Flow;
+}
+
+/// Parse a document, pushing events into `sink` as they are scanned —
+/// nothing is materialized, so memory is bounded by document *depth*
+/// (one open-tag name per ancestor) rather than document size.
+///
+/// Accepts exactly the inputs [`parse_xml`] accepts and rejects the rest
+/// with the same message at the same byte position: both parsers share the
+/// low-level tag/entity scanners, and the differential fuzz suite
+/// (`tests/xml_stream_fuzz.rs`) holds them to it.
+pub fn parse_xml_stream<S: StreamSink + ?Sized>(
+    src: &str,
+    sink: &mut S,
+) -> Result<StreamOutcome, XmlError> {
+    let _span = hedgex_obs::span("xml.parse_stream");
+    let mut p = P {
+        src,
+        pos: 0,
+        tally: Tally::default(),
+    };
+    let outcome = p.stream(sink);
+    hedgex_obs::counter_add("xml.parse.bytes", p.pos as u64);
+    hedgex_obs::counter_add("xml.parse.elements", p.tally.elements);
+    hedgex_obs::counter_add("xml.parse.text_nodes", p.tally.text_nodes);
+    hedgex_obs::counter_add("xml.parse.attrs", p.tally.attrs);
+    hedgex_obs::counter_add("xml.parse.entities", p.tally.entities);
+    outcome
+}
+
 /// Parse-time counts, kept local so the scanning loops never touch the
 /// (mutex-guarded) obs registry.
 #[derive(Default)]
@@ -87,6 +154,9 @@ struct Tally {
     attrs: u64,
     entities: u64,
 }
+
+/// (name, attributes in document order, self-closing?) scanned from a start tag.
+type OpenTag = (String, Vec<(String, String)>, bool);
 
 struct P<'a> {
     src: &'a str,
@@ -231,7 +301,136 @@ impl<'a> P<'a> {
         }
     }
 
+    /// The event-parser main loop. Iterative (the open-tag stack lives on
+    /// the heap), so arbitrarily deep documents stream in constant Rust
+    /// stack space — unlike the recursive tree parser, which is kept
+    /// recursive on purpose as an independent reference implementation.
+    fn stream<S: StreamSink + ?Sized>(&mut self, sink: &mut S) -> Result<StreamOutcome, XmlError> {
+        let mut open: Vec<String> = Vec::new();
+        let mut text = String::new();
+        // Non-whitespace character data between roots is only reported
+        // after the rest of the document parses, matching `parse_xml`
+        // (whose roots filter runs last) — remember it, keep scanning.
+        let mut toplevel_text = false;
+        macro_rules! emit {
+            ($call:expr) => {
+                if let Flow::Stop = $call {
+                    return Ok(StreamOutcome::Stopped { pos: self.pos });
+                }
+            };
+        }
+        macro_rules! flush_text {
+            () => {
+                if !text.is_empty() {
+                    self.tally.text_nodes += 1;
+                    if open.is_empty() {
+                        if !text.trim().is_empty() {
+                            toplevel_text = true;
+                        }
+                    } else {
+                        emit!(sink.text(&text));
+                    }
+                    text.clear();
+                }
+            };
+        }
+        loop {
+            match self.peek() {
+                None => {
+                    if !open.is_empty() {
+                        return Err(self.err("unexpected end of input inside element"));
+                    }
+                    flush_text!();
+                    if toplevel_text {
+                        return Err(XmlError {
+                            pos: 0,
+                            msg: "character data at the top level".into(),
+                        });
+                    }
+                    return Ok(StreamOutcome::Finished);
+                }
+                Some('<') => {
+                    if self.rest().starts_with("</") {
+                        if open.is_empty() {
+                            // Same position and message `parse_xml` produces
+                            // for an end tag after the last root.
+                            return Err(self.err("trailing content"));
+                        }
+                        flush_text!();
+                        let name = open.pop().expect("checked non-empty");
+                        self.close_tag(&name)?;
+                        emit!(sink.close_element());
+                        continue;
+                    }
+                    if self.rest().starts_with("<!--") {
+                        match self.rest().find("-->") {
+                            Some(end) => self.pos += end + 3,
+                            None => return Err(self.err("unterminated comment")),
+                        }
+                        continue;
+                    }
+                    if self.rest().starts_with("<![CDATA[") {
+                        self.pos += "<![CDATA[".len();
+                        match self.rest().find("]]>") {
+                            Some(end) => {
+                                text.push_str(&self.rest()[..end]);
+                                self.pos += end + 3;
+                            }
+                            None => return Err(self.err("unterminated CDATA")),
+                        }
+                        continue;
+                    }
+                    if self.rest().starts_with("<?") {
+                        match self.rest().find("?>") {
+                            Some(end) => self.pos += end + 2,
+                            None => return Err(self.err("unterminated PI")),
+                        }
+                        continue;
+                    }
+                    if self.rest().starts_with("<!") {
+                        return Err(self.err("DTD declarations are not supported"));
+                    }
+                    flush_text!();
+                    let (name, attrs, self_closing) = self.open_tag()?;
+                    emit!(sink.open_element(&name, &attrs));
+                    if self_closing {
+                        emit!(sink.close_element());
+                    } else {
+                        open.push(name);
+                    }
+                }
+                Some('&') => {
+                    text.push(self.entity()?);
+                }
+                Some(_) => {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+        }
+    }
+
     fn element(&mut self) -> Result<XmlNode, XmlError> {
+        let (name, attrs, self_closing) = self.open_tag()?;
+        if self_closing {
+            return Ok(XmlNode::Element {
+                name,
+                attrs,
+                children: Vec::new(),
+            });
+        }
+        let children = self.nodes(Some(&name))?;
+        self.close_tag(&name)?;
+        Ok(XmlNode::Element {
+            name,
+            attrs,
+            children,
+        })
+    }
+
+    /// Scan an opening tag from its `<`: name, attributes, and whether it
+    /// was self-closing. Shared by the tree parser and the event parser so
+    /// both report identical errors at identical byte positions.
+    fn open_tag(&mut self) -> Result<OpenTag, XmlError> {
         assert!(self.eat("<"));
         self.tally.elements += 1;
         let name = self.name()?;
@@ -244,15 +443,11 @@ impl<'a> P<'a> {
                     if !self.eat(">") {
                         return Err(self.err("expected '>' after '/'"));
                     }
-                    return Ok(XmlNode::Element {
-                        name,
-                        attrs,
-                        children: Vec::new(),
-                    });
+                    return Ok((name, attrs, true));
                 }
                 Some('>') => {
                     self.bump();
-                    break;
+                    return Ok((name, attrs, false));
                 }
                 Some(_) => {
                     let k = self.name()?;
@@ -283,7 +478,10 @@ impl<'a> P<'a> {
                 None => return Err(self.err("unexpected end of input in tag")),
             }
         }
-        let children = self.nodes(Some(&name))?;
+    }
+
+    /// Scan a closing tag `</name >` and match it against the open element.
+    fn close_tag(&mut self, name: &str) -> Result<(), XmlError> {
         if !self.eat("</") {
             return Err(self.err(format!("expected closing tag for '{name}'")));
         }
@@ -295,11 +493,7 @@ impl<'a> P<'a> {
         if !self.eat(">") {
             return Err(self.err("expected '>' in closing tag"));
         }
-        Ok(XmlNode::Element {
-            name,
-            attrs,
-            children,
-        })
+        Ok(())
     }
 
     fn entity(&mut self) -> Result<char, XmlError> {
@@ -417,5 +611,109 @@ mod tests {
             e.pos
         );
         assert!(e.to_string().contains("mismatched"));
+    }
+
+    /// Records every event; optionally stops after a fixed number.
+    struct Recorder {
+        events: Vec<String>,
+        stop_after: Option<usize>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                events: Vec::new(),
+                stop_after: None,
+            }
+        }
+        fn push(&mut self, ev: String) -> Flow {
+            self.events.push(ev);
+            match self.stop_after {
+                Some(n) if self.events.len() >= n => Flow::Stop,
+                _ => Flow::Continue,
+            }
+        }
+    }
+
+    impl StreamSink for Recorder {
+        fn open_element(&mut self, name: &str, attrs: &[(String, String)]) -> Flow {
+            let attrs: Vec<String> = attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            self.push(format!("open {name} [{}]", attrs.join(",")))
+        }
+        fn text(&mut self, text: &str) -> Flow {
+            self.push(format!("text {text}"))
+        }
+        fn close_element(&mut self) -> Flow {
+            self.push("close".into())
+        }
+    }
+
+    #[test]
+    fn stream_event_order() {
+        let mut r = Recorder::new();
+        let out = parse_xml_stream(
+            "<?xml version=\"1.0\"?><a x=\"1\">hi<b/><!-- c -->&amp;<![CDATA[<]]></a>",
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(out, StreamOutcome::Finished);
+        assert_eq!(
+            r.events,
+            vec![
+                "open a [x=1]",
+                "text hi",
+                "open b []",
+                "close",
+                "text &<",
+                "close",
+            ]
+        );
+    }
+
+    #[test]
+    fn stream_early_stop() {
+        let mut r = Recorder::new();
+        r.stop_after = Some(2);
+        let out = parse_xml_stream("<a><b><c/></b></a>", &mut r).unwrap();
+        match out {
+            StreamOutcome::Stopped { pos } => assert!(pos < "<a><b><c/></b></a>".len()),
+            other => panic!("expected Stopped, got {other:?}"),
+        }
+        assert_eq!(r.events.len(), 2);
+    }
+
+    #[test]
+    fn stream_deep_chain_is_iterative() {
+        // Deep enough to overflow a recursive parser's call stack; the
+        // event parser keeps only the open-tag name stack on the heap.
+        let depth = 10_000;
+        let src = format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth));
+        let mut r = Recorder::new();
+        assert_eq!(
+            parse_xml_stream(&src, &mut r).unwrap(),
+            StreamOutcome::Finished
+        );
+        assert_eq!(r.events.len(), 2 * depth);
+    }
+
+    #[test]
+    fn stream_errors_match_tree_parser() {
+        for src in [
+            "<a>",
+            "<a></b>",
+            "<a attr></a>",
+            "<a>&unknown;</a>",
+            "<a><!DOCTYPE x></a>",
+            "text outside <a/>",
+            "<a/><junk",
+            "<a/></x>",
+            "<a><!-- nope</a>",
+            "<a><![CDATA[x</a>",
+            "<a><?pi</a>",
+        ] {
+            let tree = parse_xml(src).unwrap_err();
+            let ev = parse_xml_stream(src, &mut Recorder::new()).unwrap_err();
+            assert_eq!(ev, tree, "error mismatch on {src:?}");
+        }
     }
 }

@@ -30,6 +30,14 @@ echo "== cargo test -q --offline --no-default-features (analysis properties) =="
 # Analysis verdicts and pruning equivalence must not depend on instrumentation.
 cargo test -q --offline --no-default-features -p hedgex --test analysis_props
 
+echo "== cargo test -q --offline --no-default-features (streaming differential) =="
+# Streamed == materialized must hold with the obs counters compiled out.
+cargo test -q --offline --no-default-features -p hedgex --test stream_props
+
+echo "== cargo test -q --offline --no-default-features (parser fuzz) =="
+# Event parser vs tree parser parity is independent of instrumentation.
+cargo test -q --offline --no-default-features -p hedgex --test xml_stream_fuzz
+
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
@@ -53,5 +61,8 @@ HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench warm
 
 echo "== E7 parallel-scaling bench (smoke mode: 1 sample) =="
 HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench parallel
+
+echo "== E9 streaming bench (smoke mode: 1 sample) =="
+HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench streaming
 
 echo "verify: OK"

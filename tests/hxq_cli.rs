@@ -2,8 +2,9 @@
 //! and `--metrics-json` output, and agreement between the CLI's match set
 //! and the library pipeline.
 
+use std::io::Write;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 use hedgex::prelude::*;
 use hedgex_bench::doc_workload;
@@ -14,6 +15,24 @@ fn hxq(args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("hxq runs")
+}
+
+/// Run hxq with `input` piped to stdin (for the `-` file argument).
+fn hxq_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hxq"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hxq spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(input.as_bytes())
+        .expect("write to hxq stdin");
+    child.wait_with_output().expect("hxq runs")
 }
 
 fn scratch(name: &str) -> PathBuf {
@@ -49,6 +68,26 @@ fn usage_errors_exit_2_with_one_line_diagnostics() {
             &["--path", "a", "--jobs", "many", "x.xml"][..],
             "positive integer",
         ),
+        (
+            &["--path", "a", "--stream", "--mark", "x.xml"][..],
+            "'--stream' is incompatible with '--mark'",
+        ),
+        (
+            &["--path", "a", "--stream", "--explain", "x.xml"][..],
+            "'--stream' is incompatible with '--explain'",
+        ),
+        (
+            &["--path", "a", "--stream", "--repeat", "2", "x.xml"][..],
+            "'--stream' is incompatible with '--repeat'",
+        ),
+        (
+            &["--path", "a", "--stream", "--jobs", "2", "x.xml"][..],
+            "'--stream' is incompatible with '--jobs'",
+        ),
+        (
+            &["--path", "a", "--exists", "--mark", "x.xml"][..],
+            "'--exists' is incompatible with '--mark'",
+        ),
     ] {
         let out = hxq(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -73,6 +112,8 @@ fn help_exits_0_and_documents_the_flags() {
         "--metrics-json",
         "--repeat",
         "--jobs",
+        "--stream",
+        "--exists",
     ] {
         assert!(text.contains(flag), "help should document {flag}");
     }
@@ -322,6 +363,92 @@ fn jobs_matches_sequential_output_byte_for_byte() {
     assert_eq!(sub_seq.stdout, sub_par.stdout);
     assert!(String::from_utf8_lossy(&sub_par.stderr).contains("2 workers"));
 
+    std::fs::remove_file(&xml).ok();
+}
+
+#[test]
+fn stream_matches_materialized_byte_for_byte() {
+    let w = doc_workload(300, 13);
+    let src = write_xml(&w.doc, &w.ab, None);
+    let xml = scratch("stream.xml");
+    std::fs::write(&xml, &src).unwrap();
+
+    for query in [
+        &["--path", "article section* figure"][..],
+        &["--phr", "[ε ; article ; ε]"][..],
+    ] {
+        let plain = hxq(&[query, &[xml.to_str().unwrap()]].concat());
+        assert_eq!(
+            plain.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&plain.stderr)
+        );
+        let streamed = hxq(&[query, &["--stream", xml.to_str().unwrap()]].concat());
+        assert_eq!(streamed.status.code(), Some(0));
+        assert_eq!(
+            plain.stdout, streamed.stdout,
+            "--stream must print the same Dewey lines ({query:?})"
+        );
+
+        // `-` reads stdin; streaming it must print exactly the same.
+        let piped = hxq_stdin(&[query, &["--stream", "-"]].concat(), &src);
+        assert_eq!(piped.status.code(), Some(0));
+        assert_eq!(plain.stdout, piped.stdout, "stdin must equal file input");
+    }
+    std::fs::remove_file(&xml).ok();
+}
+
+#[test]
+fn truncated_stdin_exits_1_in_both_modes() {
+    // The classic dropped-connection input: an element never closed.
+    for extra in [&[][..], &["--stream"][..]] {
+        for query in [&["--path", "a b"][..], &["--phr", "[ε ; a ; ε]"][..]] {
+            let out = hxq_stdin(&[query, extra, &["-"]].concat(), "<a><b>");
+            assert_eq!(
+                out.status.code(),
+                Some(1),
+                "truncated stdin must be a runtime error ({query:?} {extra:?})"
+            );
+            assert!(out.stdout.is_empty(), "no matches may be printed");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(err.lines().count(), 1, "diagnostic must be one line: {err}");
+            assert!(
+                err.contains("XML error at byte"),
+                "position must be reported: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exists_exit_codes_with_and_without_stream() {
+    let xml = scratch("exists.xml");
+    std::fs::write(&xml, "<a><b/><c/></a>").unwrap();
+    for extra in [&[][..], &["--stream"][..]] {
+        let hit = hxq(&[
+            &["--path", "a b", "--exists"][..],
+            extra,
+            &[xml.to_str().unwrap()],
+        ]
+        .concat());
+        assert_eq!(hit.status.code(), Some(0), "a match means exit 0 {extra:?}");
+        assert!(hit.stdout.is_empty(), "grep -q semantics: no output");
+
+        let miss = hxq(&[
+            &["--path", "a d", "--exists"][..],
+            extra,
+            &[xml.to_str().unwrap()],
+        ]
+        .concat());
+        assert_eq!(
+            miss.status.code(),
+            Some(1),
+            "no match means exit 1 {extra:?}"
+        );
+        assert!(miss.stdout.is_empty());
+        assert!(miss.stderr.is_empty(), "a miss is not an error");
+    }
     std::fs::remove_file(&xml).ok();
 }
 
