@@ -65,7 +65,15 @@ impl AnalysisCache {
         }
         self.misses += 1;
         obs::counter_inc("analyze.cache.misses");
-        let q = Arc::new(AnalyzedQuery::new(phr, subhedge));
+        let started = std::time::Instant::now();
+        let q = {
+            let _span = obs::span("analyze.cache.analyze");
+            Arc::new(AnalyzedQuery::new(phr, subhedge))
+        };
+        obs::histogram_record(
+            "analyze.cache.analyze_ns",
+            started.elapsed().as_nanos() as u64,
+        );
         bucket.push((key, Arc::clone(&q)));
         q
     }

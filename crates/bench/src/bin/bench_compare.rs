@@ -1,0 +1,507 @@
+//! `bench_compare` — the perf-regression sentinel.
+//!
+//! Compares fresh `BENCH_<group>.json` reports against the committed
+//! baselines at the repo root, prints a per-metric verdict (`ok` /
+//! `improved` / `REGRESSED`) with a configurable noise threshold, and
+//! appends an audit row to `BENCH_TRAJECTORY.json` so the repo carries a
+//! diffable history of its own performance. Exit code 0 when nothing
+//! regressed, 1 when something did (or a report fails validation), 2 on
+//! usage errors.
+//!
+//! ```sh
+//! # validate every committed baseline parses and carries the schema
+//! bench_compare --check BENCH_*.json
+//!
+//! # re-run one group (smoke mode) and compare against the root baselines
+//! bench_compare --run E6_warm_throughput --smoke
+//!
+//! # compare two report directories, recording the outcome
+//! bench_compare --baseline-dir . --candidate-dir target/bench-reports \
+//!               --trajectory BENCH_TRAJECTORY.json
+//!
+//! # prove the sentinel can see: a synthetic 3x slowdown MUST exit non-zero
+//! bench_compare --self-test
+//! ```
+//!
+//! Medians from single-sample smoke runs are noisy, so the default
+//! threshold is deliberately wide (50%) and sub-10µs medians are never
+//! flagged — compare like against like (full run vs full run, smoke vs
+//! smoke) before tightening `--threshold`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hedgex_testkit::Json;
+
+/// Medians below this are timer noise at smoke sample counts; never flag.
+const MIN_MEDIAN_NS: f64 = 10_000.0;
+
+/// Which `cargo bench` target produces a given report group.
+const GROUP_TARGETS: &[(&str, &str)] = &[
+    ("E2_determinize", "determinize"),
+    ("E4_eval_hre_linear", "eval_hre"),
+    ("E5_naive_quadratic", "eval_phr"),
+    ("E5_two_pass_linear", "eval_phr"),
+    ("E6_compile", "compile"),
+    ("E6_warm_throughput", "warm"),
+    ("E7_parallel_scaling", "parallel"),
+    ("E7_schema_transform", "schema"),
+    ("E8_analysis", "analysis"),
+    ("E8_path_ablation", "path_ablation"),
+    ("E9_streaming", "streaming"),
+];
+
+const HELP: &str = "\
+usage: bench_compare [OPTIONS]
+
+  --check FILE...      validate BENCH_*.json schema (group, benchmarks,
+                       per-benchmark timing fields); exit 1 on violation
+  --baseline-dir DIR   committed baselines (default '.')
+  --candidate-dir DIR  fresh reports to judge (default 'target/bench-reports')
+  --run GROUP          re-run the bench target producing GROUP into
+                       --candidate-dir first (repeatable)
+  --smoke              run benches in smoke mode (1 sample) when using --run
+  --threshold PCT      regression threshold in percent (default 50)
+  --trajectory PATH    append an audit row to this JSON array file
+  --self-test          feed the comparator a synthetic 3x slowdown; exits
+                       non-zero iff the regression is detected (so a zero
+                       exit here means the sentinel is blind)
+  -h, --help           this text
+
+exit code: 0 no regression, 1 regression/validation failure, 2 usage error";
+
+struct Args {
+    check: Vec<String>,
+    baseline_dir: PathBuf,
+    candidate_dir: PathBuf,
+    run: Vec<String>,
+    smoke: bool,
+    threshold_pct: f64,
+    trajectory: Option<PathBuf>,
+    self_test: bool,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_compare: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut out = Args {
+        check: Vec::new(),
+        baseline_dir: PathBuf::from("."),
+        candidate_dir: PathBuf::from("target/bench-reports"),
+        run: Vec::new(),
+        smoke: false,
+        threshold_pct: 50.0,
+        trajectory: None,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage(&format!("option '{flag}' needs a value")))
+        };
+        match arg.as_str() {
+            "--check" => {
+                // Greedy: everything up to the next option is a file.
+                out.check.push(value("--check")?);
+            }
+            "--baseline-dir" => out.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--candidate-dir" => out.candidate_dir = PathBuf::from(value("--candidate-dir")?),
+            "--run" => out.run.push(value("--run")?),
+            "--smoke" => out.smoke = true,
+            "--threshold" => {
+                let v = value("--threshold")?;
+                match v.parse::<f64>() {
+                    Ok(p) if p > 0.0 => out.threshold_pct = p,
+                    _ => return Err(usage(&format!("bad threshold '{v}'"))),
+                }
+            }
+            "--trajectory" => out.trajectory = Some(PathBuf::from(value("--trajectory")?)),
+            "--self-test" => out.self_test = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Err(ExitCode::SUCCESS);
+            }
+            _ if !out.check.is_empty() && !arg.starts_with('-') => out.check.push(arg),
+            _ => return Err(usage(&format!("unknown argument '{arg}'"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Validate one report against the schema `BenchGroup::finish` writes.
+/// Returns the human-readable violation, if any.
+fn validate_report(json: &Json) -> Result<(), String> {
+    let group = json
+        .get("group")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'group'")?;
+    let benches = json
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'benchmarks'")?;
+    if benches.is_empty() {
+        return Err(format!("group '{group}': empty benchmarks array"));
+    }
+    for b in benches {
+        let id = b
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("group '{group}': benchmark missing string 'id'"))?;
+        let num = |key: &str| {
+            b.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("group '{group}' id '{id}': missing number '{key}'"))
+        };
+        let (median, min, max) = (num("median_ns")?, num("min_ns")?, num("max_ns")?);
+        if !(min <= median && median <= max) {
+            return Err(format!(
+                "group '{group}' id '{id}': min/median/max out of order ({min}/{median}/{max})"
+            ));
+        }
+        if num("samples")? < 1.0 {
+            return Err(format!("group '{group}' id '{id}': samples < 1"));
+        }
+        match b.get("throughput_elements") {
+            Some(Json::Null) | Some(Json::Num(_)) => {}
+            _ => {
+                return Err(format!(
+                    "group '{group}' id '{id}': throughput_elements must be number or null"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    New,
+}
+
+struct Comparison {
+    id: String,
+    baseline_ns: f64,
+    candidate_ns: f64,
+    verdict: Verdict,
+}
+
+/// Compare candidate medians against baseline medians, id by id.
+fn compare_group(baseline: &Json, candidate: &Json, threshold_pct: f64) -> Vec<Comparison> {
+    let medians = |j: &Json| -> Vec<(String, f64)> {
+        j.get("benchmarks")
+            .and_then(Json::as_arr)
+            .map(|bs| {
+                bs.iter()
+                    .filter_map(|b| {
+                        Some((
+                            b.get("id")?.as_str()?.to_string(),
+                            b.get("median_ns")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = medians(baseline);
+    medians(candidate)
+        .into_iter()
+        .map(|(id, cand_ns)| {
+            let base_ns = base.iter().find(|(k, _)| *k == id).map(|&(_, v)| v);
+            let verdict = match base_ns {
+                None => Verdict::New,
+                Some(b) => {
+                    let fast = b.max(cand_ns) < MIN_MEDIAN_NS;
+                    let within_band = cand_ns <= b * (1.0 + threshold_pct / 100.0)
+                        && cand_ns >= b * (1.0 - threshold_pct / 100.0);
+                    if fast || within_band {
+                        Verdict::Ok
+                    } else if cand_ns > b {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Improved
+                    }
+                }
+            };
+            Comparison {
+                id,
+                baseline_ns: base_ns.unwrap_or(f64::NAN),
+                candidate_ns: cand_ns,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "-".into()
+    } else if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn print_comparisons(group: &str, comps: &[Comparison]) -> (u64, u64, u64) {
+    let (mut ok, mut improved, mut regressed) = (0, 0, 0);
+    for c in comps {
+        let (label, delta) = match c.verdict {
+            Verdict::New => ("new", String::new()),
+            v => {
+                let pct = (c.candidate_ns - c.baseline_ns) / c.baseline_ns * 100.0;
+                (
+                    match v {
+                        Verdict::Ok => {
+                            ok += 1;
+                            "ok"
+                        }
+                        Verdict::Improved => {
+                            improved += 1;
+                            "improved"
+                        }
+                        Verdict::Regressed => {
+                            regressed += 1;
+                            "REGRESSED"
+                        }
+                        Verdict::New => unreachable!(),
+                    },
+                    format!(" ({pct:+.1}%)"),
+                )
+            }
+        };
+        println!(
+            "{group}/{:<40} {:>12} -> {:>12}{delta}  {label}",
+            c.id,
+            fmt_ns(c.baseline_ns),
+            fmt_ns(c.candidate_ns),
+        );
+    }
+    (ok, improved, regressed)
+}
+
+/// Load `BENCH_*.json` reports from a directory, keyed by group file name.
+fn load_reports(dir: &Path) -> Result<Vec<(String, Json)>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") || name.contains("TRAJECTORY") {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{name}: {e:?}"))?;
+        out.push((name, json));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn append_trajectory(path: &Path, row: Json) -> Result<(), String> {
+    let mut rows = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text).map_err(|e| format!("{}: {e:?}", path.display()))? {
+            Json::Arr(rows) => rows,
+            _ => return Err(format!("{}: not a JSON array", path.display())),
+        },
+        Err(_) => Vec::new(),
+    };
+    rows.push(row);
+    std::fs::write(path, format!("{}\n", Json::Arr(rows)))
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The synthetic-slowdown drill: a sentinel that cannot see a 3x slowdown
+/// is worse than none, so CI asserts this exits NON-zero.
+fn self_test(threshold_pct: f64) -> ExitCode {
+    let report = |medians: &[(&str, f64)]| {
+        Json::obj([
+            ("group", Json::Str("selftest".into())),
+            (
+                "benchmarks",
+                Json::Arr(
+                    medians
+                        .iter()
+                        .map(|&(id, m)| {
+                            Json::obj([
+                                ("id", Json::Str(id.into())),
+                                ("median_ns", Json::Num(m)),
+                                ("min_ns", Json::Num(m)),
+                                ("max_ns", Json::Num(m)),
+                                ("samples", Json::Num(1.0)),
+                                ("throughput_elements", Json::Null),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    // One stable metric, one 3x slower, one 3x faster — all well above the
+    // noise floor.
+    let baseline = report(&[("stable", 1e6), ("slowed", 1e6), ("sped_up", 3e6)]);
+    let candidate = report(&[("stable", 1.01e6), ("slowed", 3e6), ("sped_up", 1e6)]);
+    let comps = compare_group(&baseline, &candidate, threshold_pct);
+    let (ok, improved, regressed) = print_comparisons("selftest", &comps);
+    let detected = ok == 1 && improved == 1 && regressed == 1;
+    if detected {
+        println!("self-test: 3x slowdown detected (exit 1 — the sentinel works)");
+        ExitCode::from(1)
+    } else {
+        println!(
+            "self-test: BLIND — expected 1 ok / 1 improved / 1 REGRESSED, \
+             got {ok}/{improved}/{regressed}"
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_group(group: &str, out_dir: &Path, smoke: bool) -> Result<(), String> {
+    let target = GROUP_TARGETS
+        .iter()
+        .find(|(g, _)| *g == group)
+        .map(|&(_, t)| t)
+        .ok_or_else(|| {
+            let known: Vec<&str> = GROUP_TARGETS.iter().map(|&(g, _)| g).collect();
+            format!("unknown group '{group}' (known: {})", known.join(", "))
+        })?;
+    // cargo runs bench binaries with the *package* directory as cwd, so a
+    // relative out dir would land under crates/bench — absolutize it first.
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let out_dir = out_dir
+        .canonicalize()
+        .map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let mut cmd = std::process::Command::new(std::env::var_os("CARGO").unwrap_or("cargo".into()));
+    cmd.args([
+        "bench",
+        "-q",
+        "--offline",
+        "-p",
+        "hedgex-bench",
+        "--bench",
+        target,
+    ])
+    .env("HEDGEX_BENCH_OUT", &out_dir);
+    if smoke {
+        cmd.env("HEDGEX_BENCH_SMOKE", "1");
+    }
+    println!("running bench target '{target}' for group '{group}'…");
+    let status = cmd.status().map_err(|e| format!("cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench --bench {target} failed: {status}"));
+    }
+    Ok(())
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return Ok(code),
+    };
+
+    if args.self_test {
+        return Ok(self_test(args.threshold_pct));
+    }
+
+    if !args.check.is_empty() {
+        for file in &args.check {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let json = Json::parse(&text).map_err(|e| format!("{file}: {e:?}"))?;
+            validate_report(&json).map_err(|e| format!("{file}: {e}"))?;
+            println!("{file}: ok");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    for group in &args.run {
+        run_group(group, &args.candidate_dir, args.smoke)?;
+    }
+
+    let baselines = load_reports(&args.baseline_dir)?;
+    let candidates = load_reports(&args.candidate_dir)?;
+    if candidates.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json reports in {}",
+            args.candidate_dir.display()
+        ));
+    }
+
+    let (mut ok, mut improved, mut regressed) = (0u64, 0u64, 0u64);
+    let mut group_rows = Vec::new();
+    let mut compared = 0usize;
+    for (name, candidate) in &candidates {
+        let Some((_, baseline)) = baselines.iter().find(|(b, _)| b == name) else {
+            println!("{name}: no committed baseline (skipped)");
+            continue;
+        };
+        compared += 1;
+        let group = candidate
+            .get("group")
+            .and_then(Json::as_str)
+            .unwrap_or(name);
+        let comps = compare_group(baseline, candidate, args.threshold_pct);
+        let (o, i, r) = print_comparisons(group, &comps);
+        ok += o;
+        improved += i;
+        regressed += r;
+        group_rows.push(Json::obj([
+            ("group", Json::Str(group.to_string())),
+            ("ok", Json::Num(o as f64)),
+            ("improved", Json::Num(i as f64)),
+            ("regressed", Json::Num(r as f64)),
+        ]));
+    }
+    if compared == 0 {
+        return Err("no candidate report has a matching baseline".to_string());
+    }
+
+    let verdict = if regressed > 0 { "REGRESSED" } else { "ok" };
+    println!("verdict: {verdict} ({ok} ok, {improved} improved, {regressed} regressed)");
+
+    if let Some(path) = &args.trajectory {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        append_trajectory(
+            path,
+            Json::obj([
+                ("ts_unix", Json::Num(ts as f64)),
+                ("threshold_pct", Json::Num(args.threshold_pct)),
+                ("verdict", Json::Str(verdict.to_string())),
+                ("ok", Json::Num(ok as f64)),
+                ("improved", Json::Num(improved as f64)),
+                ("regressed", Json::Num(regressed as f64)),
+                ("groups", Json::Arr(group_rows)),
+            ]),
+        )?;
+        println!("trajectory: appended to {}", path.display());
+    }
+
+    Ok(if regressed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -342,6 +342,11 @@ impl SharedPlanCache {
         let shard = self.shard_for(hash);
 
         let mut slots = lock(&shard.slots);
+        // Wait-vs-compile attribution: `wait` covers time blocked behind
+        // another thread's in-flight compile (a span so the trace shows the
+        // stall, a histogram so summaries quantify it); the compile path
+        // below gets the same pair.
+        let mut wait: Option<(obs::Span, std::time::Instant)> = None;
         loop {
             // Probe under the lock; classify without holding borrows
             // across the wait.
@@ -362,9 +367,19 @@ impl SharedPlanCache {
                 Probe::Ready(plan) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     obs::counter_inc("core.plan_cache.shared.hits");
+                    if let Some((span, started)) = wait.take() {
+                        obs::histogram_record(
+                            "core.plan_cache.shared.wait_ns",
+                            started.elapsed().as_nanos() as u64,
+                        );
+                        drop(span);
+                    }
                     return plan;
                 }
                 Probe::InFlight => {
+                    if wait.is_none() {
+                        wait = Some((obs::span("core.plan_cache.wait"), std::time::Instant::now()));
+                    }
                     slots = shard
                         .ready
                         .wait(slots)
@@ -380,6 +395,7 @@ impl SharedPlanCache {
             }
         }
         drop(slots);
+        drop(wait); // raced a finishing compile and won the re-claim
 
         // Our claim: compile outside the lock so other shard traffic (and
         // other queries colliding into this bucket) keeps flowing.
@@ -391,7 +407,15 @@ impl SharedPlanCache {
             key: &key,
             armed: true,
         };
-        let plan = Plan::compile(phr);
+        let compile_started = std::time::Instant::now();
+        let plan = {
+            let _span = obs::span("core.plan_cache.compile");
+            Plan::compile(phr)
+        };
+        obs::histogram_record(
+            "core.plan_cache.shared.compile_ns",
+            compile_started.elapsed().as_nanos() as u64,
+        );
         let mut slots = lock(&shard.slots);
         let bucket = slots.get_mut(&hash).expect("claimed bucket exists");
         let slot = bucket

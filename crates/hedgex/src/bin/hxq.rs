@@ -42,6 +42,7 @@ struct Args {
     keep_attrs: bool,
     explain: bool,
     metrics_json: Option<String>,
+    trace: Option<String>,
     repeat: Option<u64>,
     jobs: Option<u64>,
     stream: bool,
@@ -61,7 +62,12 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
   --attrs              map attributes to attr:name children (queryable)
   --explain            print a per-phase pipeline report (automaton sizes,
                        timings, match counts) to stderr
-  --metrics-json PATH  write the explain report as JSON to PATH
+  --metrics-json PATH  write the explain report as JSON to PATH (with
+                       --stream: a streaming report — phases, event counts,
+                       high-water marks)
+  --trace PATH         write the run's span timeline as Chrome trace-event
+                       JSON to PATH (open in Perfetto or chrome://tracing;
+                       an empty array when obs is compiled out)
   --repeat N           evaluate the query N times reusing one compiled plan
                        and one scratch; print aggregate wall time to stderr
   --jobs N             spread the repeated runs over N worker threads, one
@@ -69,7 +75,7 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
   --stream             evaluate during the parse (push-based): the document
                        is never materialized, memory is bounded by its depth;
                        incompatible with --mark/--subhedge/--explain/
-                       --metrics-json/--repeat/--jobs
+                       --repeat/--jobs
   --exists             print nothing; exit 0 if any node matches, 1 if none
                        (with --stream, stops reading at the first match)
   -h, --help           show this help
@@ -83,6 +89,7 @@ static analysis (no document involved):
     --against QUERY2       also decide containment/equivalence vs QUERY2
     --against-subhedge HRE subhedge condition of QUERY2
     --metrics-json PATH    write phase timings and verdicts as JSON to PATH
+    --trace PATH           write the span timeline as Chrome trace-event JSON
   exit code: 0 satisfiable, 1 provably empty, 2 usage error";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -99,6 +106,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         keep_attrs: false,
         explain: false,
         metrics_json: None,
+        trace: None,
         repeat: None,
         jobs: None,
         stream: false,
@@ -121,6 +129,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--stream" => out.stream = true,
             "--exists" => out.exists = true,
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
+            "--trace" => out.trace = Some(value("--trace")?),
             "--repeat" => {
                 let n = value("--repeat")?;
                 match n.parse::<u64>() {
@@ -164,11 +173,14 @@ fn parse_args() -> Result<Args, ExitCode> {
         return Err(usage_error("--path and --phr are mutually exclusive"));
     }
     if out.stream {
+        // Genuinely unsupported combinations only: --mark and --subhedge
+        // need the materialized tree, --explain/--repeat/--jobs drive the
+        // materialized plan pipeline. --metrics-json and --trace work
+        // streaming (they report the streaming run itself).
         for (on, flag) in [
             (out.mark, "--mark"),
             (out.subhedge.is_some(), "--subhedge"),
             (out.explain, "--explain"),
-            (out.metrics_json.is_some(), "--metrics-json"),
             (out.repeat.is_some(), "--repeat"),
             (out.jobs.is_some(), "--jobs"),
         ] {
@@ -286,6 +298,9 @@ fn locate_repeated(
 /// per-node class table. Dewey output is byte-identical to the
 /// materialized path.
 fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
+    use hedgex::stream::StreamStats;
+    use hedgex_testkit::Json;
+
     let cfg = HedgeConfig {
         keep_text: true,
         keep_attrs: args.keep_attrs,
@@ -293,14 +308,36 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
     let mut ab = Alphabet::new();
     let hits_found: bool;
     let mut lines: Vec<String> = Vec::new();
+    let mut phases: Vec<(&'static str, u64)> = Vec::new();
+    let timed = |phases: &mut Vec<(&'static str, u64)>, name, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        phases.push((name, t.elapsed().as_nanos() as u64));
+    };
+    let stats: StreamStats;
+    let located_count: usize;
     if let Some(p) = &args.path {
         let path = parse_path(p, &mut ab).map_err(|e| e.to_string())?;
-        let mut sink = PathStream::new(&path, &ab)
-            .exists(args.exists)
-            .collect_deweys(!args.exists);
-        stream_xml(src, &mut ab, cfg, &mut sink).map_err(|e| e.to_string())?;
-        sink.finish();
+        let mut sink = None;
+        timed(&mut phases, "compile", &mut || {
+            sink = Some(
+                PathStream::new(&path, &ab)
+                    .exists(args.exists)
+                    .collect_deweys(!args.exists),
+            )
+        });
+        let mut sink = sink.expect("compiled");
+        let mut outcome = Ok(hedgex::xml::StreamOutcome::Finished);
+        timed(&mut phases, "stream", &mut || {
+            outcome = stream_xml(src, &mut ab, cfg, &mut sink)
+        });
+        outcome.map_err(|e| e.to_string())?;
+        timed(&mut phases, "finish", &mut || {
+            sink.finish();
+        });
+        stats = sink.stats();
         hits_found = sink.found();
+        located_count = sink.located().len();
         for d in sink.deweys() {
             let dewey: Vec<String> = d.iter().map(u32::to_string).collect();
             lines.push(format!("/{}", dewey.join("/")));
@@ -308,15 +345,55 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
     } else {
         let phr = parse_phr(args.phr.as_deref().expect("validated"), &mut ab)
             .map_err(|e| e.to_string())?;
-        let compiled = CompiledPhr::compile(&phr);
+        let mut compiled = None;
+        timed(&mut phases, "compile", &mut || {
+            compiled = Some(CompiledPhr::compile(&phr))
+        });
+        let compiled = compiled.expect("compiled");
         let mut sink = PhrStream::new(&compiled);
-        stream_xml(src, &mut ab, cfg, &mut sink).map_err(|e| e.to_string())?;
-        let hits = sink.finish().to_vec();
+        let mut outcome = Ok(hedgex::xml::StreamOutcome::Finished);
+        timed(&mut phases, "stream", &mut || {
+            outcome = stream_xml(src, &mut ab, cfg, &mut sink)
+        });
+        outcome.map_err(|e| e.to_string())?;
+        let mut hits = Vec::new();
+        timed(&mut phases, "finish", &mut || hits = sink.finish().to_vec());
+        stats = sink.stats();
         hits_found = !hits.is_empty();
+        located_count = hits.len();
         for &n in &hits {
             let dewey: Vec<String> = sink.dewey(n).iter().map(u32::to_string).collect();
             lines.push(format!("/{}", dewey.join("/")));
         }
+    }
+    if let Some(path) = &args.metrics_json {
+        // A streaming run has no automaton-size report — its story is the
+        // event stream and the memory high-water marks, plus whatever the
+        // obs registry gathered.
+        let json = Json::obj([
+            ("mode", Json::Str("stream".into())),
+            (
+                "phases",
+                Json::Arr(
+                    phases
+                        .iter()
+                        .map(|&(name, ns)| {
+                            Json::obj([
+                                ("name", Json::Str(name.into())),
+                                ("wall_ns", Json::Num(ns as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("events", Json::Num(stats.events as f64)),
+            ("depth_high_water", Json::Num(stats.depth_high_water as f64)),
+            ("live_high_water", Json::Num(stats.live_high_water as f64)),
+            ("early_exit", Json::Bool(stats.early_exit)),
+            ("located", Json::Num(located_count as f64)),
+            ("metrics", hedgex::obs::snapshot()),
+        ]);
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
     }
     if args.exists {
         return Ok(if hits_found {
@@ -331,7 +408,23 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Write the obs span timeline as Chrome trace-event JSON. Works in every
+/// mode (an obs-off build writes a valid empty trace), and runs *after*
+/// evaluation so the file covers the whole run.
+fn write_trace(path: &str) -> Result<(), String> {
+    let trace = hedgex::obs::trace_json();
+    std::fs::write(path, format!("{trace}\n")).map_err(|e| format!("{path}: {e}"))
+}
+
 fn run(args: Args) -> Result<ExitCode, String> {
+    let code = run_query(&args)?;
+    if let Some(path) = &args.trace {
+        write_trace(path)?;
+    }
+    Ok(code)
+}
+
+fn run_query(args: &Args) -> Result<ExitCode, String> {
     let src = match args.file.as_deref() {
         Some("-") => {
             let mut s = String::new();
@@ -345,7 +438,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
     };
 
     if args.stream {
-        return run_stream(&src, &args);
+        return run_stream(&src, args);
     }
 
     let mut ab = Alphabet::new();
@@ -472,6 +565,7 @@ struct CheckArgs {
     against: Option<String>,
     against_subhedge: Option<String>,
     metrics_json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_check_args(mut it: impl Iterator<Item = String>) -> Result<CheckArgs, ExitCode> {
@@ -482,6 +576,7 @@ fn parse_check_args(mut it: impl Iterator<Item = String>) -> Result<CheckArgs, E
         against: None,
         against_subhedge: None,
         metrics_json: None,
+        trace: None,
     };
     let mut have_query = false;
     while let Some(arg) = it.next() {
@@ -495,6 +590,7 @@ fn parse_check_args(mut it: impl Iterator<Item = String>) -> Result<CheckArgs, E
             "--against" => out.against = Some(value("--against")?),
             "--against-subhedge" => out.against_subhedge = Some(value("--against-subhedge")?),
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
+            "--trace" => out.trace = Some(value("--trace")?),
             "--help" | "-h" => {
                 println!("{HELP}");
                 return Err(ExitCode::SUCCESS);
@@ -645,6 +741,13 @@ fn run_check(args: CheckArgs) -> ExitCode {
         let json = Json::obj(fields);
         if let Err(e) = std::fs::write(path, format!("{json}\n")) {
             eprintln!("hxq: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &args.trace {
+        if let Err(e) = write_trace(path) {
+            eprintln!("hxq: {e}");
             return ExitCode::FAILURE;
         }
     }

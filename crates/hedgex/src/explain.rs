@@ -75,6 +75,10 @@ pub struct ExplainReport {
     /// Snapshot of the obs registry (`{"enabled": false}` when obs is
     /// compiled out).
     pub metrics: Json,
+    /// Chrome trace-event timeline of the spans recorded so far (empty
+    /// array when obs is compiled out) — the same events `hxq --trace`
+    /// writes, captured by the report's `trace` phase.
+    pub trace: Json,
 }
 
 impl ExplainReport {
@@ -128,6 +132,7 @@ impl ExplainReport {
                 Json::Arr(self.hits.iter().map(|&n| Json::Num(f64::from(n))).collect()),
             ),
             ("metrics", self.metrics.clone()),
+            ("trace", self.trace.clone()),
         ])
     }
 }
@@ -181,6 +186,11 @@ pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainRep
         hits.retain(|&n| marks[n as usize]);
     }
 
+    // Timeline export is a phase of its own: rendering the span ring is
+    // real work on large runs, and reporting it as a phase keeps the
+    // total-time accounting honest.
+    let trace = timed(&mut phases, "trace", obs::trace_json);
+
     let distinct = |classes: &[u32]| {
         let mut v: Vec<u32> = classes.to_vec();
         v.sort_unstable();
@@ -216,5 +226,6 @@ pub fn explain(phr: &Phr, subhedge: Option<&Hre>, doc: &FlatHedge) -> ExplainRep
         located: hits.len(),
         hits,
         metrics: obs::snapshot(),
+        trace,
     }
 }

@@ -1,16 +1,18 @@
 //! The live implementation behind the `enabled` feature.
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use hedgex_testkit::Json;
 
-use crate::{bucket_bounds, bucket_index, HIST_BUCKETS};
+use crate::{bucket_bounds, bucket_index, bucket_quantile, HIST_BUCKETS};
 
-/// Finished-span records kept verbatim; past this, only per-name totals.
+/// Finished-span records kept verbatim in the timeline ring; once full,
+/// the oldest record is overwritten (and counted as dropped), so the ring
+/// always holds the most recent window. Per-name totals stay exact.
 const SPAN_CAP: usize = 4096;
 /// Trace-event records kept verbatim.
 const EVENT_CAP: usize = 1024;
@@ -44,18 +46,32 @@ pub struct SpanRecord {
     pub parent: Option<u64>,
     /// Static name.
     pub name: &'static str,
+    /// Small per-thread id (allocation order, starts at 1) — the `tid` of
+    /// the Chrome trace export, attributing work to its worker thread.
+    pub tid: u64,
     /// Nanoseconds since the process epoch at creation.
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub wall_ns: u64,
 }
 
+/// Exact per-name aggregate, unaffected by the ring cap: count, total
+/// nanoseconds, and a log2 duration histogram the p50/p90/p99 summaries
+/// are read from.
+#[derive(Default)]
+struct SpanTotal {
+    count: u64,
+    total_ns: u64,
+    buckets: Option<Box<[u64; HIST_BUCKETS]>>,
+}
+
 #[derive(Default)]
 struct SpanSink {
-    records: Vec<SpanRecord>,
+    /// The timeline ring, oldest first.
+    records: VecDeque<SpanRecord>,
+    /// Records overwritten by the ring (oldest evicted first).
     dropped: u64,
-    /// Exact per-name (count, total_ns), unaffected by the record cap.
-    totals: BTreeMap<&'static str, (u64, u64)>,
+    totals: BTreeMap<&'static str, SpanTotal>,
 }
 
 struct EventRecord {
@@ -95,6 +111,22 @@ fn now_ns() -> u64 {
 thread_local! {
     /// The innermost live span on this thread (parent for new spans).
     static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
+    /// This thread's small trace id (lazily allocated, starts at 1).
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's small trace id, allocating one on first use.
+/// Stable for the thread's lifetime; exported as `tid` in trace events.
+pub fn thread_id() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    THREAD_ID.with(|c| {
+        let mut tid = c.get();
+        if tid == 0 {
+            tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            c.set(tid);
+        }
+        tid
+    })
 }
 
 /// Add `delta` to the named counter (creating it at 0).
@@ -192,41 +224,113 @@ impl Drop for Span {
     fn drop(&mut self) {
         let wall_ns = self.start.elapsed().as_nanos() as u64;
         CURRENT_SPAN.with(|c| c.set(self.prev));
+        let tid = thread_id();
         let mut sink = registry().spans.lock().unwrap();
-        let t = sink.totals.entry(self.name).or_insert((0, 0));
-        t.0 += 1;
-        t.1 = t.1.saturating_add(wall_ns);
+        let t = sink.totals.entry(self.name).or_default();
+        t.count += 1;
+        t.total_ns = t.total_ns.saturating_add(wall_ns);
+        t.buckets.get_or_insert_with(|| Box::new([0; HIST_BUCKETS]))[bucket_index(wall_ns)] += 1;
         if sink.records.len() >= SPAN_CAP {
+            // Ring semantics: evict the oldest so the window tracks "now".
+            sink.records.pop_front();
             sink.dropped += 1;
-            return;
         }
         let record = SpanRecord {
             id: self.id,
             parent: self.prev,
             name: self.name,
+            tid,
             start_ns: self.start_ns,
             wall_ns,
         };
-        sink.records.push(record);
+        sink.records.push_back(record);
     }
 }
 
-/// All finished spans currently in the sink (oldest first).
+/// All finished spans currently in the ring (oldest first).
 pub fn spans() -> Vec<SpanRecord> {
-    registry().spans.lock().unwrap().records.clone()
+    registry()
+        .spans
+        .lock()
+        .unwrap()
+        .records
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Spans dropped from the timeline ring so far (per-name totals remain
+/// exact regardless). Surfaced in [`snapshot`] as the
+/// `obs.dropped_records` counter and the `spans.truncated` flag.
+pub fn dropped_records() -> u64 {
+    registry().spans.lock().unwrap().dropped
+}
+
+/// Render the finished-span ring as Chrome trace-event JSON: an array of
+/// complete (`"ph": "X"`) events with microsecond `ts`/`dur`, the span's
+/// thread as `tid`, and the span/parent ids under `args` — loadable
+/// directly in Perfetto or `chrome://tracing`. Events come out in
+/// timeline order (sorted by start time).
+pub fn trace_json() -> Json {
+    let sink = registry().spans.lock().unwrap();
+    let mut records: Vec<&SpanRecord> = sink.records.iter().collect();
+    records.sort_by_key(|s| (s.start_ns, s.id));
+    Json::Arr(
+        records
+            .into_iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", Json::Str(s.name.to_string())),
+                    ("ph", Json::Str("X".to_string())),
+                    ("ts", Json::Num(s.start_ns as f64 / 1e3)),
+                    ("dur", Json::Num(s.wall_ns as f64 / 1e3)),
+                    ("pid", Json::Num(1.0)),
+                    ("tid", Json::Num(s.tid as f64)),
+                    (
+                        "args",
+                        Json::obj([
+                            ("id", Json::Num(s.id as f64)),
+                            (
+                                "parent",
+                                s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                            ),
+                        ]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A quantile estimate as JSON: `null` for an empty distribution, else
+/// the [`bucket_quantile`] upper bound.
+fn quantile_json(buckets: &[u64; HIST_BUCKETS], count: u64, q: f64) -> Json {
+    if count == 0 {
+        Json::Null
+    } else {
+        Json::Num(bucket_quantile(buckets, count, q) as f64)
+    }
 }
 
 /// Render the whole registry as JSON.
 pub fn snapshot() -> Json {
     let r = registry();
-    let counters = Json::Obj(
-        r.counters
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, v)| (k.to_string(), Json::Num(v.load(Ordering::Relaxed) as f64)))
-            .collect(),
-    );
+    let dropped_records = r.spans.lock().unwrap().dropped;
+    let mut counter_fields: Vec<(String, Json)> = r
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), Json::Num(v.load(Ordering::Relaxed) as f64)))
+        .collect();
+    // Ring overflow is a first-class counter, not a buried field: a
+    // truncated timeline must be loud in every metrics export.
+    counter_fields.push((
+        "obs.dropped_records".to_string(),
+        Json::Num(dropped_records as f64),
+    ));
+    counter_fields.sort_by(|a, b| a.0.cmp(&b.0));
+    let counters = Json::Obj(counter_fields);
     let gauges = Json::Obj(
         r.gauges
             .lock()
@@ -262,6 +366,9 @@ pub fn snapshot() -> Json {
                         ("sum", Json::Num(h.sum as f64)),
                         ("min", Json::Num(h.min as f64)),
                         ("max", Json::Num(h.max as f64)),
+                        ("p50", quantile_json(&h.buckets, h.count, 0.50)),
+                        ("p90", quantile_json(&h.buckets, h.count, 0.90)),
+                        ("p99", quantile_json(&h.buckets, h.count, 0.99)),
                         ("buckets", Json::Arr(buckets)),
                     ]),
                 )
@@ -281,6 +388,7 @@ pub fn snapshot() -> Json {
                         s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
                     ),
                     ("name", Json::Str(s.name.to_string())),
+                    ("tid", Json::Num(s.tid as f64)),
                     ("start_ns", Json::Num(s.start_ns as f64)),
                     ("wall_ns", Json::Num(s.wall_ns as f64)),
                 ])
@@ -289,12 +397,17 @@ pub fn snapshot() -> Json {
         let totals = Json::Obj(
             sink.totals
                 .iter()
-                .map(|(name, (count, total_ns))| {
+                .map(|(name, t)| {
+                    let empty = [0u64; HIST_BUCKETS];
+                    let buckets: &[u64; HIST_BUCKETS] = t.buckets.as_deref().unwrap_or(&empty);
                     (
                         name.to_string(),
                         Json::obj([
-                            ("count", Json::Num(*count as f64)),
-                            ("total_ns", Json::Num(*total_ns as f64)),
+                            ("count", Json::Num(t.count as f64)),
+                            ("total_ns", Json::Num(t.total_ns as f64)),
+                            ("p50_ns", quantile_json(buckets, t.count, 0.50)),
+                            ("p90_ns", quantile_json(buckets, t.count, 0.90)),
+                            ("p99_ns", quantile_json(buckets, t.count, 0.99)),
                         ]),
                     )
                 })
@@ -330,6 +443,7 @@ pub fn snapshot() -> Json {
             Json::obj([
                 ("records", Json::Arr(span_records)),
                 ("dropped", Json::Num(span_dropped as f64)),
+                ("truncated", Json::Bool(span_dropped > 0)),
                 ("totals", span_totals),
             ]),
         ),

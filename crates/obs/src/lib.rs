@@ -4,16 +4,23 @@
 //!
 //! * **Spans** — scoped RAII timers over a monotonic clock. Spans nest:
 //!   a thread-local stack attributes each span to the span active at its
-//!   creation, so traces reconstruct the pipeline's call tree. Finished
-//!   spans go to a bounded thread-safe sink (per-name totals are exact
-//!   even when individual records are dropped past the cap).
+//!   creation, so traces reconstruct the pipeline's call tree; each record
+//!   also carries a small per-thread id ([`thread_id`]), so cross-thread
+//!   timelines attribute work to its worker. Finished spans go to a
+//!   bounded ring (the newest [`spans`] window survives; overwritten
+//!   records are counted in [`dropped_records`] and flagged `truncated`
+//!   in [`snapshot`]; per-name totals — count, total time, p50/p90/p99
+//!   from log2 buckets — stay exact regardless).
 //! * **Metrics** — named counters (atomic, safe to bump from many
 //!   threads), gauges (last-write-wins), and base-2 logarithmic
 //!   histograms (bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`; bucket 0 is
-//!   the value 0), with count/sum/min/max.
+//!   the value 0), with count/sum/min/max and p50/p90/p99 estimates
+//!   ([`bucket_quantile`]).
 //! * **Export** — [`snapshot`] renders the whole registry as a
 //!   [`hedgex_testkit::Json`] value for `hxq --metrics-json`, bench
-//!   reports, and tests; [`reset`] clears it (tests, per-run deltas).
+//!   reports, and tests; [`trace_json`] renders the span ring as Chrome
+//!   trace-event JSON (open `hxq --trace` output in Perfetto or
+//!   `chrome://tracing`); [`reset`] clears it (tests, per-run deltas).
 //!
 //! # Zero cost when disabled
 //!
@@ -50,13 +57,33 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
     }
 }
 
+/// A quantile estimate read off log2 buckets: the inclusive upper bound of
+/// the bucket holding the `q`-th ranked value (so the estimate never
+/// understates — p99 of a log2 histogram is "at most this"). `count` must
+/// be the total number of recorded values (the sum of `buckets`); returns
+/// 0 for an empty distribution. `q` is clamped to `[0, 1]`.
+pub fn bucket_quantile(buckets: &[u64; HIST_BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_bounds(i).1;
+        }
+    }
+    bucket_bounds(HIST_BUCKETS - 1).1
+}
+
 #[cfg(feature = "enabled")]
 mod imp;
 
 #[cfg(feature = "enabled")]
 pub use imp::{
-    counter_add, counter_inc, counter_value, event, gauge_set, reset, snapshot, span, spans, Span,
-    SpanRecord,
+    counter_add, counter_inc, counter_value, dropped_records, event, gauge_set, reset, snapshot,
+    span, spans, thread_id, trace_json, Span, SpanRecord,
 };
 
 /// Is instrumentation compiled in?
@@ -77,6 +104,8 @@ mod noop {
         pub parent: Option<u64>,
         /// Static name.
         pub name: &'static str,
+        /// Small per-thread trace id.
+        pub tid: u64,
         /// Nanoseconds since the process epoch at creation.
         pub start_ns: u64,
         /// Duration in nanoseconds.
@@ -121,6 +150,24 @@ mod noop {
         Vec::new()
     }
 
+    /// Spans dropped from the ring (always 0 in no-op builds).
+    #[inline(always)]
+    pub fn dropped_records() -> u64 {
+        0
+    }
+
+    /// The calling thread's trace id (always 0 in no-op builds).
+    #[inline(always)]
+    pub fn thread_id() -> u64 {
+        0
+    }
+
+    /// Chrome trace-event export: an empty (but valid) trace in no-op
+    /// builds.
+    pub fn trace_json() -> Json {
+        Json::Arr(Vec::new())
+    }
+
     /// Snapshot the registry: just `{"enabled": false}` in no-op builds.
     pub fn snapshot() -> Json {
         Json::obj([("enabled", Json::Bool(false))])
@@ -133,8 +180,8 @@ mod noop {
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter_add, counter_inc, counter_value, event, gauge_set, reset, snapshot, span, spans, Span,
-    SpanRecord,
+    counter_add, counter_inc, counter_value, dropped_records, event, gauge_set, reset, snapshot,
+    span, spans, thread_id, trace_json, Span, SpanRecord,
 };
 
 /// Record a value in a log2-bucket histogram.
@@ -171,5 +218,29 @@ mod tests {
                 assert_eq!(bucket_bounds(i + 1).0, hi + 1, "buckets {i},{} abut", i + 1);
             }
         }
+    }
+
+    #[test]
+    fn bucket_quantiles_never_understate() {
+        let mut b = [0u64; HIST_BUCKETS];
+        assert_eq!(bucket_quantile(&b, 0, 0.5), 0, "empty distribution");
+        // One value: every quantile is its bucket's upper bound.
+        b[bucket_index(5)] = 1;
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(bucket_quantile(&b, 1, q), 7);
+        }
+        // 1..=100: rank r lands in the bucket of value r, estimate is that
+        // bucket's hi — always >= the true quantile.
+        let mut b = [0u64; HIST_BUCKETS];
+        for v in 1..=100u64 {
+            b[bucket_index(v)] += 1;
+        }
+        assert_eq!(bucket_quantile(&b, 100, 0.50), 63); // true p50 = 50
+        assert_eq!(bucket_quantile(&b, 100, 0.90), 127); // true p90 = 90
+        assert_eq!(bucket_quantile(&b, 100, 1.0), 127); // max = 100
+        assert_eq!(bucket_quantile(&b, 100, 0.0), 1); // clamped to rank 1
+                                                      // Out-of-range q is clamped, not UB.
+        assert_eq!(bucket_quantile(&b, 100, 2.0), 127);
+        assert_eq!(bucket_quantile(&b, 100, -1.0), 1);
     }
 }

@@ -172,3 +172,167 @@ fn snapshot_reset_and_events() {
     assert_eq!(snap.get("gauges"), Some(&Json::Obj(vec![])));
     assert!(obs::spans().is_empty());
 }
+
+#[test]
+fn ring_overflow_keeps_newest_and_reports_dropped() {
+    let _g = lock();
+    obs::reset();
+    const OVER: usize = 100;
+    let total = 4096 + OVER;
+    for _ in 0..total {
+        let _s = obs::span("test.ring.filler");
+    }
+    // The window holds exactly the cap, the overflow is counted, and the
+    // survivors are the *newest* records (ids strictly increase, so the
+    // smallest surviving id must be past the evicted prefix).
+    let spans = obs::spans();
+    assert_eq!(spans.len(), 4096, "ring holds exactly the cap");
+    assert_eq!(obs::dropped_records() as usize, OVER);
+    let ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "oldest-first order");
+    let first_kept = ids[0];
+    let last_kept = *ids.last().unwrap();
+    assert_eq!(
+        last_kept - first_kept + 1,
+        4096,
+        "window is a contiguous id range (the newest one)"
+    );
+    // Per-name totals stay exact even though records were evicted.
+    let snap = obs::snapshot();
+    let spans_json = snap.get("spans").unwrap();
+    assert_eq!(
+        spans_json.get("truncated"),
+        Some(&Json::Bool(true)),
+        "overflow is flagged loudly"
+    );
+    assert_eq!(
+        spans_json.get("dropped").and_then(Json::as_u64),
+        Some(OVER as u64)
+    );
+    assert_eq!(
+        spans_json
+            .get("totals")
+            .and_then(|t| t.get("test.ring.filler"))
+            .and_then(|t| t.get("count"))
+            .and_then(Json::as_u64),
+        Some(total as u64),
+        "totals count every span, not just the ring window"
+    );
+    assert_eq!(
+        snap.get("counters")
+            .and_then(|c| c.get("obs.dropped_records"))
+            .and_then(Json::as_u64),
+        Some(OVER as u64),
+        "overflow surfaces as a counter in every metrics export"
+    );
+    // Before overflow the flag is down.
+    obs::reset();
+    {
+        let _s = obs::span("test.ring.one");
+    }
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.get("spans").and_then(|s| s.get("truncated")),
+        Some(&Json::Bool(false))
+    );
+    assert_eq!(
+        snap.get("counters")
+            .and_then(|c| c.get("obs.dropped_records"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+}
+
+#[test]
+fn trace_json_is_chrome_trace_events() {
+    let _g = lock();
+    obs::reset();
+    {
+        let _outer = obs::span("test.trace.outer");
+        let _inner = obs::span("test.trace.inner");
+    }
+    let trace = obs::trace_json();
+    let events = trace.as_arr().expect("trace is a JSON array");
+    assert_eq!(events.len(), 2);
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Json::as_f64).is_some(), "ts present");
+        assert!(e.get("dur").and_then(Json::as_f64).is_some(), "dur present");
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+    }
+    // Timeline order: outer started first, so it sorts first even though
+    // inner *finished* (and hence was recorded) first.
+    assert_eq!(
+        events[0].get("name").and_then(Json::as_str),
+        Some("test.trace.outer")
+    );
+    let outer_id = events[0].get("args").and_then(|a| a.get("id")).cloned();
+    assert_eq!(
+        events[1].get("args").and_then(|a| a.get("parent")).cloned(),
+        outer_id,
+        "child event points at its parent span id"
+    );
+    // Round-trips through the in-tree JSON parser.
+    assert_eq!(Json::parse(&trace.to_string()).unwrap(), trace);
+}
+
+#[test]
+fn span_records_carry_the_worker_thread_id() {
+    let _g = lock();
+    obs::reset();
+    let main_tid = obs::thread_id();
+    {
+        let _s = obs::span("test.tid.main");
+    }
+    let other_tid = std::thread::spawn(|| {
+        let tid = obs::thread_id();
+        let _s = obs::span("test.tid.worker");
+        tid
+    })
+    .join()
+    .unwrap();
+    assert_ne!(main_tid, other_tid, "each thread gets a distinct trace id");
+    let find = |name: &str| {
+        obs::spans()
+            .into_iter()
+            .rev()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span {name} not recorded"))
+    };
+    assert_eq!(find("test.tid.main").tid, main_tid);
+    assert_eq!(find("test.tid.worker").tid, other_tid);
+}
+
+#[test]
+fn histogram_snapshot_reports_quantiles() {
+    let _g = lock();
+    obs::reset();
+    // 100 values: 1..=100. p50 rank is value 50 (bucket [32,63] → hi 63);
+    // p99 rank is value 99 (bucket [64,127] → hi 127).
+    for v in 1..=100u64 {
+        obs::histogram_record("test.hist.quant", v);
+    }
+    let snap = obs::snapshot();
+    let h = snap
+        .get("histograms")
+        .and_then(|hs| hs.get("test.hist.quant"))
+        .unwrap();
+    assert_eq!(h.get("p50").and_then(Json::as_u64), Some(63));
+    assert_eq!(h.get("p90").and_then(Json::as_u64), Some(127));
+    assert_eq!(h.get("p99").and_then(Json::as_u64), Some(127));
+    // Span totals carry duration quantiles too.
+    {
+        let _s = obs::span("test.quant.span");
+    }
+    let snap = obs::snapshot();
+    let t = snap
+        .get("spans")
+        .and_then(|s| s.get("totals"))
+        .and_then(|t| t.get("test.quant.span"))
+        .unwrap();
+    for q in ["p50_ns", "p90_ns", "p99_ns"] {
+        assert!(t.get(q).and_then(Json::as_u64).is_some(), "{q} present");
+    }
+}

@@ -87,7 +87,12 @@ where
     let jobs = jobs.max(1).min(num_tasks.max(1));
     if jobs == 1 {
         let mut state = init(0);
-        let out: Vec<T> = (0..num_tasks).map(|i| work(&mut state, i)).collect();
+        let out: Vec<T> = (0..num_tasks)
+            .map(|i| {
+                let _task = obs::span("par.task");
+                work(&mut state, i)
+            })
+            .collect();
         let stats = PoolStats {
             tasks: vec![num_tasks as u64],
             steals: vec![0],
@@ -114,18 +119,25 @@ where
             .map(|w| {
                 let (queues, init, work) = (&queues, &init, &work);
                 s.spawn(move || {
+                    // One span for the worker's whole life; every task span
+                    // below nests under it (and under it, whatever the task
+                    // itself instruments), so the trace timeline shows each
+                    // worker as one lane of attributed work.
+                    let _worker = obs::span("par.worker");
                     let mut state = init(w);
                     let mut done: Vec<(usize, T)> = Vec::new();
                     let (mut tasks, mut steals) = (0u64, 0u64);
                     loop {
                         // Own queue first (front = the hot end)…
                         let mut grabbed = lock(&queues[w]).pop_front();
+                        let mut stolen = false;
                         // …then scan the others and steal from the back.
                         if grabbed.is_none() {
                             for off in 1..queues.len() {
                                 let victim = (w + off) % queues.len();
                                 if let Some(r) = lock(&queues[victim]).pop_back() {
                                     steals += 1;
+                                    stolen = true;
                                     grabbed = Some(r);
                                     break;
                                 }
@@ -133,6 +145,14 @@ where
                         }
                         let Some(range) = grabbed else { break };
                         for i in range {
+                            // Distinct names give the trace steal
+                            // attribution for free: a "par.task.stolen"
+                            // lane entry ran on a thief, not its dealer.
+                            let _task = obs::span(if stolen {
+                                "par.task.stolen"
+                            } else {
+                                "par.task"
+                            });
                             done.push((i, work(&mut state, i)));
                             tasks += 1;
                         }

@@ -83,6 +83,10 @@ impl StreamStats {
     pub(crate) fn flush_obs(&self) {
         hedgex_obs::counter_add("stream.events", self.events);
         hedgex_obs::histogram_record("stream.depth_high_water", self.depth_high_water as u64);
+        hedgex_obs::histogram_record("stream.live_high_water", self.live_high_water as u64);
+        // Last-finished-run gauge: what a live dashboard would watch to see
+        // the streaming memory claim hold (depth-bounded, not size-bounded).
+        hedgex_obs::gauge_set("stream.live_high_water.last", self.live_high_water as f64);
         if self.early_exit {
             hedgex_obs::counter_inc("stream.early_exits");
         }

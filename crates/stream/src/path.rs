@@ -76,6 +76,7 @@ impl PathStream {
 
     /// Flush obs counters and return the matches in document order.
     pub fn finish(&mut self) -> &[NodeId] {
+        let _span = hedgex_obs::span("stream.path.finish");
         self.stats.flush_obs();
         &self.located
     }

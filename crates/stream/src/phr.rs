@@ -139,6 +139,9 @@ impl<'p> PhrStream<'p> {
     /// frames are drained as if closed, so a truncated stream cannot
     /// panic — but its answer is only meaningful for the part seen).
     pub fn finish(&mut self) -> &[NodeId] {
+        // The second traversal is its own timeline phase: on the trace it
+        // separates "while the parse streamed" from "after the last byte".
+        let _span = hedgex_obs::span("stream.phr.finish");
         while !self.frames.is_empty() {
             self.close();
         }

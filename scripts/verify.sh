@@ -65,4 +65,28 @@ HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench parallel
 echo "== E9 streaming bench (smoke mode: 1 sample) =="
 HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench streaming
 
+echo "== bench_compare: committed baseline schema =="
+# Every committed BENCH_*.json must parse and carry the report schema the
+# sentinel compares on (ids, median/min/max, sample counts).
+check_args=()
+for f in BENCH_*.json; do
+  [ "$f" = "BENCH_TRAJECTORY.json" ] && continue
+  check_args+=(--check "$f")
+done
+cargo run -q --offline --release -p hedgex-bench --bin bench_compare -- "${check_args[@]}"
+
+echo "== bench_compare: self-comparison is regression-free =="
+# Comparing the committed baselines against themselves must report zero
+# regressions and exit 0; this exercises the full comparison path without
+# the cross-machine noise a live smoke run would inject.
+cargo run -q --offline --release -p hedgex-bench --bin bench_compare -- \
+  --baseline-dir . --candidate-dir .
+
+echo "== bench_compare: sentinel self-test (must detect a 3x slowdown) =="
+# The self-test plants a synthetic 3x slowdown and exits non-zero iff the
+# sentinel catches it; a blind sentinel exits 0 and fails this gate.
+if cargo run -q --offline --release -p hedgex-bench --bin bench_compare -- --self-test; then
+  echo "bench_compare self-test failed to flag the planted regression"; exit 1
+fi
+
 echo "verify: OK"

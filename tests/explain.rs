@@ -14,10 +14,13 @@ fn docbook_report_is_consistent() {
     let phr = figure_before_table_phr(&mut w.ab);
     let report = explain(&phr, None, &w.doc);
 
-    // Phases: cold compile + both traversals + the warm re-run, in
-    // execution order.
+    // Phases: cold compile + both traversals + the warm re-run + the
+    // timeline export, in execution order.
     let names: Vec<&str> = report.phases.iter().map(|p| p.name).collect();
-    assert_eq!(names, ["compile", "first_pass", "second_pass", "warm_run"]);
+    assert_eq!(
+        names,
+        ["compile", "first_pass", "second_pass", "warm_run", "trace"]
+    );
     assert!(
         report.phases[0].wall_ns > 0,
         "compile cannot take zero time"
@@ -83,7 +86,8 @@ fn subhedge_filter_matches_manual_marking() {
             "subhedge_mark",
             "first_pass",
             "second_pass",
-            "warm_run"
+            "warm_run",
+            "trace"
         ]
     );
 
@@ -120,6 +124,7 @@ fn report_json_round_trips() {
         "located",
         "hits",
         "metrics",
+        "trace",
     ] {
         assert!(json.get(key).is_some(), "missing report field '{key}'");
     }
@@ -135,4 +140,22 @@ fn report_json_round_trips() {
     // The metrics section reflects whether instrumentation is compiled in.
     let enabled = json.get("metrics").and_then(|m| m.get("enabled"));
     assert_eq!(enabled, Some(&Json::Bool(hedgex::obs::is_enabled())));
+
+    // The trace is a Chrome trace-event array: empty when obs is compiled
+    // out, else complete events with the fields the viewers require.
+    let trace = json
+        .get("trace")
+        .and_then(Json::as_arr)
+        .expect("trace is an array");
+    if hedgex::obs::is_enabled() {
+        assert!(!trace.is_empty(), "an instrumented run records spans");
+        for e in trace {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            for key in ["name", "ts", "dur", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "trace event missing '{key}'");
+            }
+        }
+    } else {
+        assert!(trace.is_empty());
+    }
 }

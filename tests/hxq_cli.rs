@@ -110,6 +110,7 @@ fn help_exits_0_and_documents_the_flags() {
         "--mark",
         "--explain",
         "--metrics-json",
+        "--trace",
         "--repeat",
         "--jobs",
         "--stream",
@@ -117,6 +118,139 @@ fn help_exits_0_and_documents_the_flags() {
     ] {
         assert!(text.contains(flag), "help should document {flag}");
     }
+}
+
+#[test]
+fn trace_json_on_docbook_is_valid_chrome_trace() {
+    // The acceptance scenario: a DocBook run with --trace must produce a
+    // Chrome trace-event array (ph "X" complete events, or "B"/"E" pairs)
+    // with the ts/dur/tid/pid fields the viewers require.
+    let w = doc_workload(300, 5);
+    let xml = scratch("trace-doc.xml");
+    std::fs::write(&xml, write_xml(&w.doc, &w.ab, None)).unwrap();
+    let trace_path = scratch("trace.json");
+
+    let out = hxq(&[
+        "--path",
+        "article section* figure",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Matches still print — tracing never changes the answer.
+    assert!(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .any(|l| l.starts_with('/')));
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let trace = Json::parse(&text).expect("trace JSON parses");
+    let events = trace.as_arr().expect("trace is a JSON array");
+    if hedgex::obs::is_enabled() {
+        assert!(!events.is_empty(), "an instrumented run records spans");
+    }
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph present");
+        assert!(
+            matches!(ph, "X" | "B" | "E"),
+            "unexpected trace phase {ph:?}"
+        );
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").and_then(Json::as_f64).is_some(), "ts present");
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+        if ph == "X" {
+            assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        }
+    }
+
+    // The same run streaming: --trace works there too.
+    let out = hxq(&[
+        "--path",
+        "article section* figure",
+        "--stream",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    Json::parse(&text)
+        .expect("streaming trace parses")
+        .as_arr()
+        .expect("streaming trace is an array");
+
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn stream_metrics_json_reports_the_streaming_run() {
+    // PR 8 lifted the PR 7 restriction: --stream + --metrics-json now
+    // emits a streaming-specific report instead of exit 2.
+    let w = doc_workload(200, 3);
+    let xml = scratch("stream-metrics.xml");
+    std::fs::write(&xml, write_xml(&w.doc, &w.ab, None)).unwrap();
+    let json_path = scratch("stream-metrics.json");
+
+    for query in [
+        &["--path", "article section* figure"][..],
+        &["--phr", "[\u{3b5} ; figure ; \u{3b5}]"][..],
+    ] {
+        let out = hxq(&[
+            query,
+            &[
+                "--stream",
+                "--metrics-json",
+                json_path.to_str().unwrap(),
+                xml.to_str().unwrap(),
+            ],
+        ]
+        .concat());
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let printed = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with('/'))
+            .count();
+
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let report = Json::parse(&text).expect("streaming metrics JSON parses");
+        assert_eq!(report.get("mode").and_then(Json::as_str), Some("stream"));
+        let phases = report.get("phases").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = phases
+            .iter()
+            .filter_map(|p| p.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(names, ["compile", "stream", "finish"], "{query:?}");
+        assert!(report.get("events").and_then(Json::as_u64).unwrap() > 0);
+        assert!(
+            report
+                .get("depth_high_water")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 1
+        );
+        assert_eq!(report.get("early_exit"), Some(&Json::Bool(false)));
+        assert_eq!(
+            report.get("located").and_then(Json::as_u64),
+            Some(printed as u64),
+            "{query:?}"
+        );
+        assert!(report.get("metrics").is_some());
+    }
+
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&json_path).ok();
 }
 
 #[test]
