@@ -351,6 +351,11 @@ impl AnalyzedQuery {
     /// Symbols present in every document that contains a match (within
     /// the schema, when supplied) — the sound prefilter for a postings
     /// intersection: a document missing a required symbol cannot match.
+    /// Attached to a [`hedgex_core::Plan`] (via [`plan_facts`]), the list
+    /// also powers the count/exists pre-pass: one label scan settles the
+    /// verdict as `0`/`false` before any automaton work.
+    ///
+    /// [`plan_facts`]: AnalyzedQuery::plan_facts
     ///
     /// Candidates are the labels of one witness document (a symbol absent
     /// from some matching document is not required); each is confirmed by
@@ -393,8 +398,10 @@ impl AnalyzedQuery {
     }
 
     /// The analysis distilled into [`PlanFacts`] for attachment to a
-    /// [`hedgex_core::Plan`]: a provably-empty plan answers `locate`
-    /// without touching the document.
+    /// [`hedgex_core::Plan`]: a provably-empty plan answers `locate` with
+    /// ∅ — and `count`/`exists` with `0`/`false` — without touching the
+    /// document, and the required symbols gate the cheap modes behind a
+    /// single label scan.
     pub fn plan_facts(&self, schema: Option<&Dha>) -> PlanFacts {
         let report = self.analyze(schema);
         PlanFacts {
@@ -622,6 +629,31 @@ mod tests {
         for d in enumerate_hedges(&[a, b], &[], 4) {
             let flat = FlatHedge::from_hedge(&d);
             assert!(two_pass::locate(&compiled, &flat).is_empty());
+        }
+    }
+
+    #[test]
+    fn analyzer_facts_gate_count_and_exists_soundly() {
+        use hedgex_core::Plan;
+        // End-to-end: analyzer-produced facts attached to a plan must
+        // never change a count or exists verdict, only cheapen it.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[b ; a ; ε][ε ; b ; ε]", &mut ab).unwrap();
+        let facts = AnalyzedQuery::new(&phr, None).plan_facts(None);
+        assert!(!facts.known_empty);
+        let bare = Plan::compile(&phr);
+        let informed = Plan::compile(&phr).with_facts(facts);
+        let a = ab.get_sym("a").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        for d in enumerate_hedges(&[a, b], &[], 5) {
+            let flat = FlatHedge::from_hedge(&d);
+            assert_eq!(informed.count(&flat), bare.count(&flat), "{d:?}");
+            assert_eq!(informed.exists(&flat), bare.exists(&flat), "{d:?}");
+            assert_eq!(
+                informed.count(&flat),
+                bare.locate(&flat).len() as u64,
+                "{d:?}"
+            );
         }
     }
 }

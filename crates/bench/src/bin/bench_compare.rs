@@ -49,6 +49,7 @@ const GROUP_TARGETS: &[(&str, &str)] = &[
     ("E8_analysis", "analysis"),
     ("E8_path_ablation", "path_ablation"),
     ("E9_streaming", "streaming"),
+    ("E10_mode_ablation", "mode_ablation"),
 ];
 
 const HELP: &str = "\

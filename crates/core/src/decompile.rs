@@ -311,6 +311,25 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_graded_expression() {
+        // Graded bounds desugar at parse time, so the compile → decompile →
+        // compile cycle never sees a `{…}` node — the round-tripped HRE
+        // must still denote the n-fold expanded language (ISSUE 9).
+        let mut ab = Alphabet::new();
+        let e = parse_hre("a{>=2} b{<=1}", &mut ab).unwrap();
+        let det = determinize(&compile_hre(&e));
+        let hre2 = decompile_dha(&det.dha, &mut ab);
+        let back = compile_hre(&hre2);
+        let syms: Vec<_> = ab.syms().collect();
+        let mut hits = 0;
+        for h in enumerate_hedges(&syms, &[], 5) {
+            assert_eq!(e.matches(&h), back.accepts(&h), "cycle mismatch on {h:?}");
+            hits += usize::from(e.matches(&h));
+        }
+        assert!(hits > 0, "a a, a a a, a a b … must be in the language");
+    }
+
+    #[test]
     fn roundtrip_compiled_expression() {
         // HRE → NHA → DHA → HRE → NHA: full Theorem 2 cycle.
         let mut ab = Alphabet::new();

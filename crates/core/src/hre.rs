@@ -21,7 +21,7 @@
 //! e := seq ('@' name seq)*          -- e₁ @z e₂  is  e₁ ∘_z e₂ (left-assoc)
 //! seq := alt+                       -- juxtaposition is concatenation
 //! alt := factor ('|' factor)*
-//! factor := atom ('*' | '+' | '?' | '^' name)*
+//! factor := atom ('*' | '+' | '?' | '^' name | '{>=' n '}' | '{<=' n '}')*
 //! atom := '!'                       -- ∅
 //!       | 'ε' | '()'                -- the empty hedge
 //!       | '$' name                  -- a variable
@@ -30,10 +30,27 @@
 //!       | name '<%' name '>'        -- a⟨z⟩, a substitution-symbol node
 //!       | '(' e ')'
 //! ```
+//!
+//! The graded bounds `e{>=n}` / `e{<=n}` ("at least / at most n copies",
+//! the graded-modality counting of Bárcenas et al.) are *surface syntax
+//! only*: they desugar at parse time to `e…e e*` (n copies) and `e?…e?`
+//! respectively, so nothing downstream — compilation, analysis,
+//! decompilation — ever sees them. Desugaring is n-fold copying, so the
+//! AST grows as `n·|e|`; bounds whose expansion would exceed
+//! [`GRADED_EXPANSION_CAP`] AST nodes are rejected at parse time with a
+//! one-line diagnostic rather than silently compiling an enormous
+//! automaton.
 
 use std::rc::Rc;
 
 use hedgex_hedge::{Alphabet, Hedge, SubId, SymId, Tree, VarId};
+
+/// Largest AST (in nodes) a graded bound `e{>=n}` / `e{<=n}` may desugar
+/// to. The expansion is n-fold copying — `n·|e| + |e|` nodes — and the
+/// downstream compile is exponential in expression size, so an unchecked
+/// bound is a denial-of-service knob; past this cap the parser rejects the
+/// query with a one-line diagnostic instead.
+pub const GRADED_EXPANSION_CAP: usize = 512;
 
 /// A hedge regular expression (Definition 11).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -325,7 +342,7 @@ impl HreParser<'_, '_> {
     fn ident(&mut self) -> Result<String, HreParseError> {
         let start = self.pos;
         while matches!(self.peek(), Some(c)
-            if !c.is_whitespace() && !"<>$%()|*+?^@!∅".contains(c))
+            if !c.is_whitespace() && !"<>$%()|*+?^@!∅{}".contains(c))
         {
             self.bump();
         }
@@ -384,7 +401,7 @@ impl HreParser<'_, '_> {
         }
     }
 
-    /// `atom ('*' | '+' | '?' | '^' name)*`.
+    /// `atom ('*' | '+' | '?' | '^' name | '{>=' n '}' | '{<=' n '}')*`.
     fn factor(&mut self) -> Result<Hre, HreParseError> {
         let mut e = self.atom()?;
         loop {
@@ -408,9 +425,62 @@ impl HreParser<'_, '_> {
                     let z = self.ab.sub(&name);
                     e = e.iter(z);
                 }
+                Some('{') => {
+                    e = self.graded(e)?;
+                }
                 _ => return Ok(e),
             }
         }
+    }
+
+    /// `e{>=n}` / `e{<=n}` — graded repetition, desugared on the spot:
+    /// `{>=n}` becomes n copies of `e` followed by `e*`; `{<=n}` becomes n
+    /// copies of `e?`. The degenerate bounds fall out of the smart
+    /// constructors: `{>=0}` is `e*` and `{<=0}` is `ε`.
+    fn graded(&mut self, e: Hre) -> Result<Hre, HreParseError> {
+        self.bump(); // '{'
+        self.skip_ws();
+        let lower = match self.bump() {
+            Some('>') => true,
+            Some('<') => false,
+            _ => return Err(self.err("expected '>=' or '<=' in graded bound")),
+        };
+        if self.bump() != Some('=') {
+            return Err(self.err("expected '=' in graded bound"));
+        }
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number in graded bound"));
+        }
+        let n: usize = self.src[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("graded bound does not fit in usize"))?;
+        self.skip_ws();
+        if self.bump() != Some('}') {
+            return Err(self.err("expected '}' after graded bound"));
+        }
+        let op = if lower { ">=" } else { "<=" };
+        let cost = n.saturating_mul(e.size()).saturating_add(e.size());
+        if cost > GRADED_EXPANSION_CAP {
+            return Err(self.err(format!(
+                "graded bound {{{op}{n}}} expands to ~{cost} AST nodes, \
+                 over the cap of {GRADED_EXPANSION_CAP}"
+            )));
+        }
+        let mut out = if lower {
+            e.clone().star()
+        } else {
+            Hre::Epsilon
+        };
+        for _ in 0..n {
+            let copy = if lower { e.clone() } else { e.clone().opt() };
+            out = copy.concat(out);
+        }
+        Ok(out)
     }
 
     fn atom(&mut self) -> Result<Hre, HreParseError> {
@@ -443,7 +513,7 @@ impl HreParser<'_, '_> {
                 let name = self.ident()?;
                 Ok(Hre::Var(self.ab.var(&name)))
             }
-            Some(c) if !"<>|*+?^@%)!∅".contains(c) => {
+            Some(c) if !"<>|*+?^@%)!∅{}".contains(c) => {
                 let name = self.ident()?;
                 let a = self.ab.sym(&name);
                 self.skip_ws();
@@ -611,6 +681,48 @@ mod tests {
         assert!(parse_hre("*", &mut ab).is_err());
         assert!(parse_hre("a^", &mut ab).is_err());
         assert!(parse_hre("a )", &mut ab).is_err());
+    }
+
+    #[test]
+    fn graded_bounds_match_their_expansions() {
+        check("a{>=2}", "a a", true);
+        check("a{>=2}", "a", false);
+        check("a{>=2}", "a a a a a", true);
+        check("a{>=2}", "a a b", false);
+        check("a{<=2}", "", true);
+        check("a{<=2}", "a", true);
+        check("a{<=2}", "a a", true);
+        check("a{<=2}", "a a a", false);
+        // Degenerate bounds: {>=0} is vacuous (= a*), {<=0} forbids any a.
+        check("a{>=0}", "", true);
+        check("a{>=0}", "a a a", true);
+        check("a{<=0}", "", true);
+        check("a{<=0}", "a", false);
+        // Graded bounds nest in node content and compose with other forms.
+        check("a<b{>=2}>", "a<b b>", true);
+        check("a<b{>=2}>", "a<b>", false);
+        check("(a|b){>=2}", "a b a", true);
+        check("a{>=1} c", "a a c", true);
+        check("a{>=1} c", "c", false);
+    }
+
+    #[test]
+    fn graded_cap_and_malformed_bounds() {
+        let mut ab = Alphabet::new();
+        // `a` is 2 AST nodes, so the expansion cost is 2n+2: n = 255 lands
+        // exactly on the cap, n = 256 exceeds it.
+        assert!(parse_hre("a{>=255}", &mut ab).is_ok());
+        let err = parse_hre("a{>=256}", &mut ab).unwrap_err();
+        assert!(err.msg.contains("over the cap"), "got: {}", err.msg);
+        let err = parse_hre("a{<=100000}", &mut ab).unwrap_err();
+        assert!(err.msg.contains("over the cap"), "got: {}", err.msg);
+        // The diagnostic is one line.
+        assert!(!err.to_string().contains('\n'));
+        assert!(parse_hre("a{>=}", &mut ab).is_err());
+        assert!(parse_hre("a{=2}", &mut ab).is_err());
+        assert!(parse_hre("a{>2}", &mut ab).is_err());
+        assert!(parse_hre("a{>=2", &mut ab).is_err());
+        assert!(parse_hre("{>=2}", &mut ab).is_err());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod two_pass;
 
 pub use compile::compile_hre;
 pub use decompile::decompile_dha;
-pub use hre::{parse_hre, Hre};
+pub use hre::{parse_hre, Hre, GRADED_EXPANSION_CAP};
 pub use keys::{canonical_key, fnv1a};
 pub use mark_down::{mark_run, MarkDown};
 pub use mark_up::MarkUp;
@@ -80,5 +80,5 @@ pub use phr_compile::CompiledPhr;
 pub use plan::{Plan, PlanCache, PlanFacts, SharedPlanCache};
 pub use query::{CompiledSelect, SelectQuery, SelectScratch};
 pub use schema::{transform_select, SelectionSchema};
-pub use two_pass::EvalScratch;
+pub use two_pass::{EvalMode, EvalOutcome, EvalScratch};
 pub mod ambiguity;

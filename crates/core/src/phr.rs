@@ -264,7 +264,8 @@ impl PhrParser<'_, '_> {
 
     /// Consume up to (and including) the next top-level `stop` character,
     /// returning the content before it. Nesting of `<>` and `()` inside HRE
-    /// slots is respected.
+    /// slots is respected; graded bounds `{>=n}`/`{<=n}` are skipped whole
+    /// (their comparison sign is not an angle bracket).
     fn slice_until(&mut self, stop: char) -> Result<String, HreParseError> {
         let start = self.pos;
         let mut depth = 0i32;
@@ -275,6 +276,12 @@ impl PhrParser<'_, '_> {
                     let s = self.src[start..self.pos].to_string();
                     self.bump();
                     return Ok(s);
+                }
+                Some('{') => {
+                    while self.peek().is_some_and(|c| c != '}') {
+                        self.bump();
+                    }
+                    self.bump();
                 }
                 Some('<') | Some('(') => {
                     depth += 1;
@@ -307,6 +314,19 @@ mod tests {
         let phr = parse_phr("[a<%z>*^z ; b ; a<%z>*^z]", &mut ab).unwrap();
         assert_eq!(phr.triplets.len(), 1);
         assert_eq!(phr.triplets[0].label, ab.get_sym("b").unwrap());
+    }
+
+    #[test]
+    fn graded_bounds_inside_triplets_slice_cleanly() {
+        // The '>' in `{>=2}` is a comparison sign, not a closing bracket;
+        // the component slicer must still find the top-level ';' and ']'.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a{>=2} ; b ; (a|b){<=1}]", &mut ab).unwrap();
+        assert_eq!(phr.triplets.len(), 1);
+        assert_eq!(phr.triplets[0].label, ab.get_sym("b").unwrap());
+        let h = parse_hedge("a a b a", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        assert_eq!(phr.locate_naive(&f), vec![2]);
     }
 
     #[test]

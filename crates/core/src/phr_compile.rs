@@ -133,6 +133,9 @@ struct Engine {
     n_table: Vec<u32>,
     /// Is `s` a final state of `N`?
     n_accept: Vec<bool>,
+    /// Can `s` still reach a final state of `N` (zero or more steps over
+    /// the achievable signatures)? `false` proves a whole subtree barren.
+    n_live: Vec<bool>,
 }
 
 impl CompiledPhr {
@@ -325,6 +328,17 @@ impl CompiledPhr {
         self.engine.n_accept[s as usize]
     }
 
+    /// Is any final state of `N` still reachable from `s` (in zero or more
+    /// steps over the achievable signatures)? A `false` answer is a sound
+    /// proof that no *descendant* of a node in state `s` can be located:
+    /// every descendant's state extends `s` by more signatures, and a dead
+    /// state stays dead. The exists-mode traversal prunes whole subtrees
+    /// on this bit.
+    #[inline]
+    pub fn n_live(&self, s: u32) -> bool {
+        self.engine.n_live[s as usize]
+    }
+
     /// Materialize `N` as an explicit table over all signatures achievable
     /// from the class space — the finite `(S, μ, s₀, S_fin)` of Theorem 4,
     /// needed by the Theorem 5 construction. Returns the explicit automaton
@@ -468,6 +482,27 @@ impl Engine {
             .map(|set| set.iter().any(|&q| n_nfa.is_accepting(q)))
             .collect();
 
+        // Liveness: backward reachability of acceptance over the dense
+        // table. A fixpoint pass is O(states² · width) in the worst case —
+        // compile-time noise next to the determinizations above.
+        let mut n_live = n_accept.clone();
+        loop {
+            let mut changed = false;
+            for s in 0..n_live.len() {
+                if !n_live[s]
+                    && n_table[s * width..(s + 1) * width]
+                        .iter()
+                        .any(|&t| n_live[t as usize])
+                {
+                    n_live[s] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
         Engine {
             ncl,
             class_step,
@@ -486,6 +521,7 @@ impl Engine {
             zero_col,
             n_table,
             n_accept,
+            n_live,
         }
     }
 }

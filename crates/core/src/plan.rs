@@ -25,13 +25,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
+use hedgex_hedge::flat::FlatLabel;
 use hedgex_hedge::{FlatHedge, NodeId};
 use hedgex_obs as obs;
 
 pub use crate::keys::{canonical_key, fnv1a};
 use crate::phr::Phr;
 use crate::phr_compile::CompiledPhr;
-use crate::two_pass::{self, EvalScratch};
+use crate::two_pass::{self, EvalMode, EvalOutcome, EvalScratch};
 
 /// Facts established about a query by static analysis (the `analyze`
 /// crate), attachable to a [`Plan`] via [`Plan::with_facts`].
@@ -121,6 +122,86 @@ impl Plan {
             return scratch.located();
         }
         two_pass::locate_into(&self.inner, h, scratch)
+    }
+
+    /// Sound pre-pass for the cheap modes: if analysis proved some symbols
+    /// must appear in every matching document, one O(nodes) label scan can
+    /// settle the verdict before any automaton work. Tracks up to 64
+    /// required symbols in a bitmask (checking a prefix of the list is
+    /// still sound); bails out of the scan as soon as all are seen.
+    fn lacks_required_sym(&self, h: &FlatHedge) -> bool {
+        let Some(facts) = self.facts.as_deref() else {
+            return false;
+        };
+        if facts.required_syms.is_empty() {
+            return false;
+        }
+        let tracked = facts.required_syms.len().min(64);
+        let syms = &facts.required_syms[..tracked];
+        let mut missing: u64 = if tracked == 64 {
+            u64::MAX
+        } else {
+            (1u64 << tracked) - 1
+        };
+        for id in h.preorder() {
+            if let FlatLabel::Sym(a) = h.label(id) {
+                for (i, &s) in syms.iter().enumerate() {
+                    if s == a {
+                        missing &= !(1u64 << i);
+                    }
+                }
+                if missing == 0 {
+                    return false;
+                }
+            }
+        }
+        obs::counter_inc("core.plan.symbol_rejects");
+        true
+    }
+
+    /// How many nodes match, allocating fresh buffers. Plans proven empty
+    /// (or documents missing a required symbol) answer `0` cheaply.
+    pub fn count(&self, h: &FlatHedge) -> u64 {
+        self.count_into(h, &mut EvalScratch::new())
+    }
+
+    /// [`Plan::count`] into a reused scratch: the warm path.
+    pub fn count_into(&self, h: &FlatHedge, scratch: &mut EvalScratch) -> u64 {
+        if self.known_empty() || self.lacks_required_sym(h) {
+            return 0;
+        }
+        two_pass::count_into(&self.inner, h, scratch)
+    }
+
+    /// Does any node match, allocating fresh buffers. Plans proven empty
+    /// (or documents missing a required symbol) answer `false` cheaply;
+    /// otherwise the pruned, early-exiting search runs.
+    pub fn exists(&self, h: &FlatHedge) -> bool {
+        self.exists_into(h, &mut EvalScratch::new())
+    }
+
+    /// [`Plan::exists`] into a reused scratch: the warm path.
+    pub fn exists_into(&self, h: &FlatHedge, scratch: &mut EvalScratch) -> bool {
+        if self.known_empty() || self.lacks_required_sym(h) {
+            return false;
+        }
+        two_pass::exists_into(&self.inner, h, scratch)
+    }
+
+    /// Evaluate in the chosen [`EvalMode`]. The plan itself is
+    /// mode-independent — one compiled plan (and one cache entry) serves
+    /// locate, count, and exists alike.
+    pub fn eval_into(
+        &self,
+        h: &FlatHedge,
+        scratch: &mut EvalScratch,
+        mode: EvalMode,
+    ) -> EvalOutcome {
+        match mode {
+            EvalMode::Locate => EvalOutcome::Located(self.locate_into(h, scratch).len()),
+            EvalMode::Count => EvalOutcome::Count(self.count_into(h, scratch)),
+            EvalMode::Exists => EvalOutcome::Exists(self.exists_into(h, scratch)),
+        }
     }
 }
 
@@ -525,6 +606,63 @@ mod tests {
         // Non-empty facts leave evaluation untouched.
         let live = Plan::compile(&phr).with_facts(PlanFacts::default());
         assert_eq!(live.locate(&f), vec![2]);
+    }
+
+    #[test]
+    fn plan_modes_agree_and_short_circuit() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap();
+        let h = parse_hedge("b a<a<b $x> b>", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        let plan = Plan::compile(&phr);
+        let mut scratch = EvalScratch::new();
+        assert_eq!(plan.count(&f), 1);
+        assert_eq!(plan.count_into(&f, &mut scratch), 1);
+        assert!(plan.exists(&f));
+        assert!(plan.exists_into(&f, &mut scratch));
+        assert_eq!(
+            plan.eval_into(&f, &mut scratch, EvalMode::Locate),
+            EvalOutcome::Located(1)
+        );
+        assert_eq!(
+            plan.eval_into(&f, &mut scratch, EvalMode::Count),
+            EvalOutcome::Count(1)
+        );
+        assert_eq!(
+            plan.eval_into(&f, &mut scratch, EvalMode::Exists),
+            EvalOutcome::Exists(true)
+        );
+        // known_empty overrides all modes without reading the document.
+        let empty = Plan::compile(&phr).with_facts(PlanFacts {
+            known_empty: true,
+            why_empty: Some("test".into()),
+            required_syms: Vec::new(),
+        });
+        assert_eq!(empty.count(&f), 0);
+        assert!(!empty.exists(&f));
+    }
+
+    #[test]
+    fn required_symbol_quick_reject_gates_count_and_exists() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap();
+        let a = ab.get_sym("a").unwrap();
+        let b = ab.get_sym("b").unwrap();
+        let matching = FlatHedge::from_hedge(&parse_hedge("b a<a<b $x> b>", &mut ab).unwrap());
+        let lacks_b = FlatHedge::from_hedge(&parse_hedge("a<a>", &mut ab).unwrap());
+        let plan = Plan::compile(&phr).with_facts(PlanFacts {
+            known_empty: false,
+            why_empty: None,
+            required_syms: vec![a, b],
+        });
+        // The scan sees every required symbol → evaluation runs normally.
+        assert_eq!(plan.count(&matching), 1);
+        assert!(plan.exists(&matching));
+        // `b` never occurs → rejected by the label scan; the answer still
+        // agrees with full evaluation.
+        assert_eq!(plan.count(&lacks_b), 0);
+        assert!(!plan.exists(&lacks_b));
+        assert!(plan.locate(&lacks_b).is_empty());
     }
 
     #[test]

@@ -32,6 +32,46 @@ use hedgex_obs as obs;
 
 use crate::phr_compile::CompiledPhr;
 
+/// Which verdict an evaluation should produce. Compiled plans are
+/// mode-independent — the same [`CompiledPhr`] serves all three — so the
+/// mode is a run-time choice per document, not a compile-time one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalMode {
+    /// Materialize the full match set in document order (Algorithm 1).
+    #[default]
+    Locate,
+    /// How many nodes match. Same two traversals as `Locate`, but the
+    /// second pass tallies per-state counters instead of writing node ids.
+    Count,
+    /// Does *any* node match. The second pass becomes a pruned search:
+    /// return at the first accepting state, skip whole subtrees whose
+    /// `N`-state is dead ([`CompiledPhr::n_live`]).
+    Exists,
+}
+
+/// The verdict of a mode-generic evaluation ([`eval_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalOutcome {
+    /// `Locate`: size of the match set (the set itself stays in the
+    /// scratch's [`EvalScratch::located`] buffer).
+    Located(usize),
+    /// `Count`: number of matching nodes.
+    Count(u64),
+    /// `Exists`: whether any node matches.
+    Exists(bool),
+}
+
+impl EvalOutcome {
+    /// Did the query match at least one node, whichever mode produced it?
+    pub fn is_match(&self) -> bool {
+        match *self {
+            EvalOutcome::Located(n) => n > 0,
+            EvalOutcome::Count(n) => n > 0,
+            EvalOutcome::Exists(b) => b,
+        }
+    }
+}
+
 /// The per-node artifacts of the first traversal (exposed for tests and for
 /// the match-identifying constructions).
 pub struct FirstPass {
@@ -63,6 +103,11 @@ pub struct EvalScratch {
     n_state: Vec<u32>,
     /// Matches of the most recent run.
     located: Vec<NodeId>,
+    /// Per-`N`-state tallies (Count mode: no match-set writes at all).
+    state_count: Vec<u64>,
+    /// Explicit DFS stack for the pruned Exists traversal:
+    /// `(node, parent N-state)`.
+    stack: Vec<(NodeId, u32)>,
 }
 
 impl EvalScratch {
@@ -313,6 +358,233 @@ pub fn locate_into<'s>(
     &scratch.located
 }
 
+/// How many nodes match the PHR. Equivalent to `locate(phr, h).len()`, but
+/// the second traversal tallies per-state counters instead of materializing
+/// the match set — no node-id writes, no match buffer growth.
+pub fn count(phr: &CompiledPhr, h: &FlatHedge) -> u64 {
+    count_into(phr, h, &mut EvalScratch::new())
+}
+
+/// [`count`] into a caller-owned scratch (the warm, allocation-free path).
+pub fn count_into(phr: &CompiledPhr, h: &FlatHedge, scratch: &mut EvalScratch) -> u64 {
+    let _span = obs::span("core.two_pass");
+    phr.m.run_into(h, &mut scratch.ha);
+    first_pass_core(
+        phr,
+        h,
+        scratch.ha.states(),
+        &mut scratch.elder_class,
+        &mut scratch.younger_class,
+        &mut scratch.f,
+        &mut scratch.nf,
+        &mut scratch.group,
+    );
+    second_pass_count_core(
+        phr,
+        h,
+        &scratch.elder_class,
+        &scratch.younger_class,
+        &mut scratch.n_state,
+        &mut scratch.state_count,
+    )
+}
+
+/// The counting variant of the top-down traversal: identical sweep, but the
+/// only write per node is `state_count[s] += 1`. The answer is the sum of
+/// the tallies over accepting states.
+fn second_pass_count_core(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    elder_class: &[u32],
+    younger_class: &[u32],
+    n_state: &mut Vec<u32>,
+    state_count: &mut Vec<u64>,
+) -> u64 {
+    let _span = obs::span("core.two_pass.second");
+    state_count.clear();
+    state_count.resize(phr.n_states_materialized(), 0);
+    n_state.clear();
+    n_state.resize(h.num_nodes(), 0);
+    for id in h.preorder() {
+        let FlatLabel::Sym(a) = h.label(id) else {
+            continue;
+        };
+        let parent_state = match h.parent(id) {
+            None => phr.n_start(),
+            Some(p) => n_state[p as usize],
+        };
+        let s = phr.n_transition(
+            parent_state,
+            elder_class[id as usize],
+            a,
+            younger_class[id as usize],
+        );
+        n_state[id as usize] = s;
+        state_count[s as usize] += 1;
+    }
+    let total: u64 = state_count
+        .iter()
+        .enumerate()
+        .filter(|&(s, _)| phr.n_accepting(s as u32))
+        .map(|(_, &c)| c)
+        .sum();
+    obs::counter_add("core.two_pass.located", total);
+    total
+}
+
+/// Does *any* node match the PHR? Equivalent to `!locate(phr, h).is_empty()`
+/// but usually far cheaper: the top-down pass becomes a depth-first search
+/// that stops at the first accepting state and prunes every subtree whose
+/// `N`-state is dead — and the first pass goes lazy with it. Sibling
+/// ≡-classes are computed per group, only when the search actually
+/// descends into that group, so a pruned subtree pays for neither
+/// traversal. Only the bottom-up `M`-run (inherently whole-document — a
+/// node's state depends on its descendants) still touches every node.
+pub fn exists(phr: &CompiledPhr, h: &FlatHedge) -> bool {
+    exists_into(phr, h, &mut EvalScratch::new())
+}
+
+/// [`exists`] into a caller-owned scratch (the warm, allocation-free path).
+pub fn exists_into(phr: &CompiledPhr, h: &FlatHedge, scratch: &mut EvalScratch) -> bool {
+    let _span = obs::span("core.two_pass");
+    phr.m.run_into(h, &mut scratch.ha);
+    let EvalScratch {
+        ha,
+        elder_class,
+        younger_class,
+        f,
+        nf,
+        group,
+        stack,
+        ..
+    } = scratch;
+    exists_core(
+        phr,
+        h,
+        ha.states(),
+        elder_class,
+        younger_class,
+        f,
+        nf,
+        group,
+        stack,
+    )
+}
+
+/// The fused, pruned search replacing both traversals in Exists mode. An
+/// explicit stack of `(node, parent N-state)` pairs: children are simply
+/// never pushed when their parent's state is dead, so barren subtrees cost
+/// nothing — not even a table step per node. A sibling group's ≡-classes
+/// are computed (via [`sibling_classes`]) at the moment the search first
+/// descends into it, so pruning skips the first pass's work too.
+#[allow(clippy::too_many_arguments)] // the buffers ARE the interface
+fn exists_core(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    states: &[HState],
+    elder_class: &mut Vec<u32>,
+    younger_class: &mut Vec<u32>,
+    f: &mut Vec<u32>,
+    nf: &mut Vec<u32>,
+    group: &mut Vec<NodeId>,
+    stack: &mut Vec<(NodeId, u32)>,
+) -> bool {
+    let _span = obs::span("core.two_pass.exists");
+    let n = h.num_nodes();
+    let cls_start = phr.classes.start();
+    // Grow-only, no clear: a group's classes are always written before any
+    // of its nodes pop, so stale entries from earlier runs are never read.
+    if elder_class.len() < n {
+        elder_class.resize(n, cls_start);
+    }
+    if younger_class.len() < n {
+        younger_class.resize(n, cls_start);
+    }
+
+    let mut visited = 0u64;
+    let mut groups = 0u64;
+    let mut classify = |g: &[NodeId],
+                        elder_class: &mut [u32],
+                        younger_class: &mut [u32],
+                        f: &mut Vec<u32>,
+                        nf: &mut Vec<u32>| {
+        groups += 1;
+        sibling_classes(
+            phr,
+            g.len(),
+            |i| states[g[i] as usize],
+            f,
+            nf,
+            |i, c| elder_class[g[i] as usize] = c,
+            |i, c| younger_class[g[i] as usize] = c,
+        );
+    };
+
+    stack.clear();
+    classify(h.roots(), elder_class, younger_class, f, nf);
+    let start = phr.n_start();
+    for &r in h.roots().iter().rev() {
+        stack.push((r, start));
+    }
+    while let Some((id, parent_state)) = stack.pop() {
+        let FlatLabel::Sym(a) = h.label(id) else {
+            continue;
+        };
+        visited += 1;
+        let s = phr.n_transition(
+            parent_state,
+            elder_class[id as usize],
+            a,
+            younger_class[id as usize],
+        );
+        if phr.n_accepting(s) {
+            obs::counter_add("core.two_pass.exists.visited", visited);
+            obs::counter_add("core.two_pass.exists.groups", groups);
+            obs::counter_add("core.two_pass.located", 1);
+            return true;
+        }
+        if !phr.n_live(s) {
+            continue;
+        }
+        // Collect the children into the reused buffer (the suffix pass
+        // inside `classify` reads them right-to-left, and pushing them in
+        // reverse makes the leftmost pop first: the search visits nodes in
+        // document order and exits at the earliest match).
+        group.clear();
+        let mut c = h.first_child(id);
+        while let Some(cid) = c {
+            group.push(cid);
+            c = h.next_sibling(cid);
+        }
+        if group.is_empty() {
+            continue;
+        }
+        classify(group, elder_class, younger_class, f, nf);
+        for &cid in group.iter().rev() {
+            stack.push((cid, s));
+        }
+    }
+    obs::counter_add("core.two_pass.exists.visited", visited);
+    obs::counter_add("core.two_pass.exists.groups", groups);
+    false
+}
+
+/// Run the evaluation in the chosen [`EvalMode`]. For `Locate` the match
+/// set is left in the scratch ([`EvalScratch::located`]); the outcome
+/// carries only its size.
+pub fn eval_into(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    scratch: &mut EvalScratch,
+    mode: EvalMode,
+) -> EvalOutcome {
+    match mode {
+        EvalMode::Locate => EvalOutcome::Located(locate_into(phr, h, scratch).len()),
+        EvalMode::Count => EvalOutcome::Count(count_into(phr, h, scratch)),
+        EvalMode::Exists => EvalOutcome::Exists(exists_into(phr, h, scratch)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +610,17 @@ mod tests {
             assert_eq!(fast, slow, "{phr_src} disagrees on {h:?}");
             let warm = locate_into(&compiled, &f, &mut scratch);
             assert_eq!(warm, &slow[..], "{phr_src} warm path disagrees on {h:?}");
+            // The cheaper modes must agree with the full match set.
+            assert_eq!(
+                count_into(&compiled, &f, &mut scratch),
+                slow.len() as u64,
+                "{phr_src} count disagrees on {h:?}"
+            );
+            assert_eq!(
+                exists_into(&compiled, &f, &mut scratch),
+                !slow.is_empty(),
+                "{phr_src} exists disagrees on {h:?}"
+            );
         }
     }
 
@@ -438,6 +721,51 @@ mod tests {
         let f = FlatHedge::from_hedge(&h);
         let located = locate(&compiled, &f);
         assert_eq!(located.len(), 41, "every b on the spine is located");
+    }
+
+    #[test]
+    fn exists_prunes_dead_subtrees() {
+        // Query demands an `a` at the root of the envelope; a document
+        // rooted at `c` sends N to a dead state immediately, so the search
+        // must answer without descending — same answer, almost no work.
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let c = ab.sym("c");
+        let mut h = hedgex_hedge::Hedge::leaf(c);
+        for _ in 0..50 {
+            h = hedgex_hedge::Hedge::node(c, h);
+        }
+        let f = FlatHedge::from_hedge(&h);
+        assert!(!exists(&compiled, &f));
+        assert_eq!(count(&compiled, &f), 0);
+        assert!(locate(&compiled, &f).is_empty());
+    }
+
+    #[test]
+    fn eval_into_outcomes_agree() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a*]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        let h = parse_hedge("a a b a", &mut ab).unwrap();
+        let f = FlatHedge::from_hedge(&h);
+        let mut scratch = EvalScratch::new();
+        assert_eq!(
+            eval_into(&compiled, &f, &mut scratch, EvalMode::Locate),
+            EvalOutcome::Located(1)
+        );
+        assert_eq!(scratch.located(), &[2]);
+        assert_eq!(
+            eval_into(&compiled, &f, &mut scratch, EvalMode::Count),
+            EvalOutcome::Count(1)
+        );
+        assert_eq!(
+            eval_into(&compiled, &f, &mut scratch, EvalMode::Exists),
+            EvalOutcome::Exists(true)
+        );
+        assert!(EvalOutcome::Located(2).is_match());
+        assert!(!EvalOutcome::Count(0).is_match());
+        assert!(!EvalOutcome::Exists(false).is_match());
     }
 
     #[test]

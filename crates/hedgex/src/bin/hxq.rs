@@ -10,6 +10,9 @@
 //! hxq --stream --path '…' -                           # evaluate during the
 //!                                                     # parse, O(depth) memory
 //! hxq --stream --exists --path '…' doc.xml            # stop at first match
+//! hxq --count --phr '…' doc.xml                       # print the match count
+//! hxq --stream --count --path '…' -                   # count a stdin stream,
+//!                                                     # O(depth) memory
 //! hxq check '[…;figure;…]' --schema HRE               # static analysis,
 //!                                                     # no document at all
 //! ```
@@ -18,8 +21,12 @@
 //! `--mark` the whole document with `hx:match="1"` on matches. Results go
 //! to stdout; diagnostics and `--explain` reports go to stderr. Exit code
 //! 0 on success, 1 on runtime errors (malformed or truncated input
-//! included), 2 on usage errors; with `--exists`, 0 means some node
-//! matched and 1 means none did.
+//! included), 2 on usage errors (malformed queries included); with
+//! `--exists`, 0 means some node matched and 1 means none did. `--count`
+//! prints the number of matches (a count of 0 is an answer, not an error)
+//! and the evaluator never materializes the match set — counting uses
+//! per-state tallies, and `--exists` additionally prunes subtrees that
+//! provably cannot match and stops at the first that does.
 //!
 //! `hxq check` decides satisfiability (absolute or against a schema),
 //! prints a witness document or a why-empty reason plus the query's
@@ -47,6 +54,7 @@ struct Args {
     jobs: Option<u64>,
     stream: bool,
     exists: bool,
+    count: bool,
     file: Option<String>,
 }
 
@@ -77,7 +85,11 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
                        incompatible with --mark/--subhedge/--explain/
                        --repeat/--jobs
   --exists             print nothing; exit 0 if any node matches, 1 if none
-                       (with --stream, stops reading at the first match)
+                       (with --stream, stops reading at the first match;
+                       materialized, prunes provably barren subtrees)
+  --count              print the number of matching nodes instead of their
+                       addresses; no match set is materialized (with
+                       --stream + --path, memory stays O(depth))
   -h, --help           show this help
   FILE                 an XML file, or '-' for stdin
 
@@ -111,6 +123,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         jobs: None,
         stream: false,
         exists: false,
+        count: false,
         file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -128,6 +141,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--explain" => out.explain = true,
             "--stream" => out.stream = true,
             "--exists" => out.exists = true,
+            "--count" => out.count = true,
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
             "--trace" => out.trace = Some(value("--trace")?),
             "--repeat" => {
@@ -193,6 +207,12 @@ fn parse_args() -> Result<Args, ExitCode> {
     }
     if out.exists && out.mark {
         return Err(usage_error("'--exists' is incompatible with '--mark'"));
+    }
+    if out.count && out.exists {
+        return Err(usage_error("'--count' is incompatible with '--exists'"));
+    }
+    if out.count && out.mark {
+        return Err(usage_error("'--count' is incompatible with '--mark'"));
     }
     Ok(out)
 }
@@ -291,6 +311,53 @@ fn locate_repeated(
     hits
 }
 
+/// The mode-generic materialized path for `--count`/`--exists` when
+/// nothing downstream needs node ids: one mode-independent [`Plan`], the
+/// mode chosen per run. Composes with `--repeat`/`--jobs` exactly like
+/// [`locate_repeated`] (warm scratch per worker, aggregate summary line).
+fn eval_mode_repeated(
+    phr: &hedgex::core::Phr,
+    flat: &FlatHedge,
+    mode: EvalMode,
+    repeat: Option<u64>,
+    jobs: usize,
+) -> EvalOutcome {
+    let n = repeat.unwrap_or(1);
+    let plan = Plan::compile(phr);
+    let (outcome, wall) = if jobs > 1 {
+        let t = Instant::now();
+        let mut runs = hedgex::par::run_scoped(
+            jobs,
+            n as usize,
+            |_| EvalScratch::new(),
+            |scratch, _| plan.eval_into(flat, scratch, mode),
+        );
+        (runs.pop().expect("at least one run"), t.elapsed())
+    } else {
+        let mut scratch = EvalScratch::new();
+        let t = Instant::now();
+        let mut out = plan.eval_into(flat, &mut scratch, mode);
+        for _ in 1..n {
+            out = plan.eval_into(flat, &mut scratch, mode);
+        }
+        (out, t.elapsed())
+    };
+    if repeat.is_some() {
+        let total_ms = wall.as_secs_f64() * 1e3;
+        let nodes_per_s = (flat.num_nodes() as u64 * n) as f64 / wall.as_secs_f64().max(1e-9);
+        let workers = if jobs > 1 {
+            format!(", {jobs} workers")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "repeat: {n} runs in {total_ms:.3} ms ({:.3} ms/run, {nodes_per_s:.0} nodes/s{workers})",
+            total_ms / n as f64
+        );
+    }
+    outcome
+}
+
 /// `--stream`: evaluate push-based, straight off the parser's event
 /// stream. The document is never materialized — path queries run the
 /// single top-down DFA (and `--exists` aborts the parse at the first
@@ -317,13 +384,17 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
     let stats: StreamStats;
     let located_count: usize;
     if let Some(p) = &args.path {
-        let path = parse_path(p, &mut ab).map_err(|e| e.to_string())?;
+        let path = match parse_path(p, &mut ab) {
+            Ok(p) => p,
+            Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+        };
         let mut sink = None;
         timed(&mut phases, "compile", &mut || {
             sink = Some(
                 PathStream::new(&path, &ab)
                     .exists(args.exists)
-                    .collect_deweys(!args.exists),
+                    .count_only(args.count)
+                    .collect_deweys(!args.exists && !args.count),
             )
         });
         let mut sink = sink.expect("compiled");
@@ -337,14 +408,16 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
         });
         stats = sink.stats();
         hits_found = sink.found();
-        located_count = sink.located().len();
+        located_count = sink.count() as usize;
         for d in sink.deweys() {
             let dewey: Vec<String> = d.iter().map(u32::to_string).collect();
             lines.push(format!("/{}", dewey.join("/")));
         }
     } else {
-        let phr = parse_phr(args.phr.as_deref().expect("validated"), &mut ab)
-            .map_err(|e| e.to_string())?;
+        let phr = match parse_phr(args.phr.as_deref().expect("validated"), &mut ab) {
+            Ok(p) => p,
+            Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+        };
         let mut compiled = None;
         timed(&mut phases, "compile", &mut || {
             compiled = Some(CompiledPhr::compile(&phr))
@@ -356,11 +429,28 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
             outcome = stream_xml(src, &mut ab, cfg, &mut sink)
         });
         outcome.map_err(|e| e.to_string())?;
+        // Mode-specific finishers: count never builds the match set,
+        // exists stops the pass-2 scan at the first accepting state.
         let mut hits = Vec::new();
-        timed(&mut phases, "finish", &mut || hits = sink.finish().to_vec());
+        let mut counted = 0u64;
+        let mut found = false;
+        timed(&mut phases, "finish", &mut || {
+            if args.count {
+                counted = sink.finish_count();
+            } else if args.exists {
+                found = sink.finish_exists();
+            } else {
+                hits = sink.finish().to_vec();
+            }
+        });
         stats = sink.stats();
-        hits_found = !hits.is_empty();
-        located_count = hits.len();
+        (hits_found, located_count) = if args.count {
+            (counted > 0, counted as usize)
+        } else if args.exists {
+            (found, found as usize)
+        } else {
+            (!hits.is_empty(), hits.len())
+        };
         for &n in &hits {
             let dewey: Vec<String> = sink.dewey(n).iter().map(u32::to_string).collect();
             lines.push(format!("/{}", dewey.join("/")));
@@ -402,6 +492,11 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
             ExitCode::from(1)
         });
     }
+    if args.count {
+        // The count is the answer: exit 0 even when it is 0.
+        println!("{located_count}");
+        return Ok(ExitCode::SUCCESS);
+    }
     for line in lines {
         println!("{line}");
     }
@@ -414,6 +509,21 @@ fn run_stream(src: &str, args: &Args) -> Result<ExitCode, String> {
 fn write_trace(path: &str) -> Result<(), String> {
     let trace = hedgex::obs::trace_json();
     std::fs::write(path, format!("{trace}\n")).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Print/write the explain report wherever the run exits (plain, --exists,
+/// --count): stderr for `--explain`, a JSON file for `--metrics-json`.
+fn emit_report(args: &Args, report: Option<&ExplainReport>) -> Result<(), String> {
+    if let Some(report) = report {
+        if args.explain {
+            print_report(report);
+        }
+        if let Some(path) = &args.metrics_json {
+            std::fs::write(path, format!("{}\n", report.to_json()))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn run(args: Args) -> Result<ExitCode, String> {
@@ -453,26 +563,37 @@ fn run_query(args: &Args) -> Result<ExitCode, String> {
     );
     let flat = FlatHedge::from_hedge(&hedge);
 
-    let subhedge = args
-        .subhedge
-        .as_deref()
-        .map(|e1| hedgex::core::parse_hre(e1, &mut ab).map_err(|e| e.to_string()))
-        .transpose()?;
+    let subhedge = match args.subhedge.as_deref() {
+        Some(e1) => match hedgex::core::parse_hre(e1, &mut ab) {
+            Ok(e) => Some(e),
+            Err(e) => return Ok(usage_error(&format!("subhedge: {e}"))),
+        },
+        None => None,
+    };
 
     let want_report = args.explain || args.metrics_json.is_some();
     // Reports, repeated runs, and worker pools all need the query as a
     // PHR plan.
     let want_phr = want_report || args.repeat.is_some() || args.jobs.is_some();
 
+    // In count/exists mode with nothing downstream needing node ids, the
+    // mode-generic plan path answers without materializing the match set.
+    let mut outcome: Option<EvalOutcome> = None;
+
     // Envelope condition (and, through explain, the subhedge filter).
     let (hits, report): (Vec<u32>, Option<ExplainReport>) = {
         // The envelope as a PHR: --phr directly, --path via the Section 5
         // embedding (universal sibling conditions).
         let phr = if let Some(p) = &args.phr {
-            Some(parse_phr(p, &mut ab).map_err(|e| e.to_string())?)
+            match parse_phr(p, &mut ab) {
+                Ok(p) => Some(p),
+                Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+            }
         } else if want_phr {
-            let path = parse_path(args.path.as_deref().expect("validated"), &mut ab)
-                .map_err(|e| e.to_string())?;
+            let path = match parse_path(args.path.as_deref().expect("validated"), &mut ab) {
+                Ok(p) => p,
+                Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+            };
             let syms: Vec<_> = ab.syms().collect();
             let vars: Vec<_> = ab.vars().collect();
             let z = ab.sub("hxq-universal");
@@ -483,7 +604,17 @@ fn run_query(args: &Args) -> Result<ExitCode, String> {
         match phr {
             Some(phr) => {
                 let report = want_report.then(|| hedgex::explain(&phr, subhedge.as_ref(), &flat));
-                let hits = if args.repeat.is_some() || args.jobs.is_some() {
+                let hits = if (args.count || args.exists) && subhedge.is_none() && report.is_none()
+                {
+                    let mode = if args.count {
+                        EvalMode::Count
+                    } else {
+                        EvalMode::Exists
+                    };
+                    let jobs = args.jobs.unwrap_or(1) as usize;
+                    outcome = Some(eval_mode_repeated(&phr, &flat, mode, args.repeat, jobs));
+                    Vec::new()
+                } else if args.repeat.is_some() || args.jobs.is_some() {
                     let jobs = args.jobs.unwrap_or(1) as usize;
                     locate_repeated(&phr, subhedge.as_ref(), &flat, args.repeat, jobs)
                 } else if let Some(report) = &report {
@@ -501,8 +632,10 @@ fn run_query(args: &Args) -> Result<ExitCode, String> {
                 (hits, report)
             }
             None => {
-                let path = parse_path(args.path.as_deref().expect("validated"), &mut ab)
-                    .map_err(|e| e.to_string())?;
+                let path = match parse_path(args.path.as_deref().expect("validated"), &mut ab) {
+                    Ok(p) => p,
+                    Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+                };
                 let mut hits = path.locate(&flat);
                 if let Some(e) = &subhedge {
                     let dha = hedgex::core::mark_down::compile_to_dha(e);
@@ -514,23 +647,31 @@ fn run_query(args: &Args) -> Result<ExitCode, String> {
         }
     };
 
+    // One (found, counted) pair whatever route produced the answer: the
+    // mode-generic plan, a repeated run, a report, or plain locate.
+    let (found, counted): (bool, u64) = match outcome {
+        Some(EvalOutcome::Exists(b)) => (b, b as u64),
+        Some(EvalOutcome::Count(n)) => (n > 0, n),
+        Some(EvalOutcome::Located(n)) => (n > 0, n as u64),
+        None => (!hits.is_empty(), hits.len() as u64),
+    };
+
     if args.exists {
         // grep -q semantics: no output, exit 0 found / 1 not found.
-        // (--explain/--metrics-json still report below.)
-        if let Some(report) = &report {
-            if args.explain {
-                print_report(report);
-            }
-            if let Some(path) = &args.metrics_json {
-                std::fs::write(path, format!("{}\n", report.to_json()))
-                    .map_err(|e| format!("{path}: {e}"))?;
-            }
-        }
-        return Ok(if hits.is_empty() {
-            ExitCode::from(1)
-        } else {
+        // (--explain/--metrics-json still report.)
+        emit_report(args, report.as_ref())?;
+        return Ok(if found {
             ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
         });
+    }
+
+    if args.count {
+        // The count is the answer: exit 0 even when it is 0.
+        println!("{counted}");
+        emit_report(args, report.as_ref())?;
+        return Ok(ExitCode::SUCCESS);
     }
 
     if args.mark {
@@ -546,15 +687,7 @@ fn run_query(args: &Args) -> Result<ExitCode, String> {
         }
     }
 
-    if let Some(report) = &report {
-        if args.explain {
-            print_report(report);
-        }
-        if let Some(path) = &args.metrics_json {
-            std::fs::write(path, format!("{}\n", report.to_json()))
-                .map_err(|e| format!("{path}: {e}"))?;
-        }
-    }
+    emit_report(args, report.as_ref())?;
     Ok(ExitCode::SUCCESS)
 }
 

@@ -48,7 +48,10 @@ pub mod prelude {
     pub use hedgex_core::query::{CompiledSelect, SelectQuery, SelectScratch};
     pub use hedgex_core::schema::transform_select;
     pub use hedgex_core::two_pass;
-    pub use hedgex_core::{CompiledPhr, EvalScratch, Plan, PlanCache, PlanFacts, SharedPlanCache};
+    pub use hedgex_core::{
+        CompiledPhr, EvalMode, EvalOutcome, EvalScratch, Plan, PlanCache, PlanFacts,
+        SharedPlanCache,
+    };
     pub use hedgex_ha::{determinize, Dha, Nha};
     pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
     pub use hedgex_par::ParallelEvaluator;

@@ -58,6 +58,37 @@ impl ParallelEvaluator {
         )
     }
 
+    /// One plan counting over many documents: `out[i]` is
+    /// `plan.count_into(&docs[i], …)`. Each worker keeps its tallies in its
+    /// own scratch's per-state counters; the per-document counts come back
+    /// in input order, so the merge is trivially deterministic.
+    pub fn count_corpus(&self, plan: &Plan, docs: &[FlatHedge]) -> Vec<u64> {
+        pool::run_scoped(
+            self.jobs,
+            docs.len(),
+            |_| EvalScratch::new(),
+            |scratch, i| plan.count_into(&docs[i], scratch),
+        )
+    }
+
+    /// [`count_corpus`](ParallelEvaluator::count_corpus) reduced to one
+    /// grand total across the corpus.
+    pub fn count_total(&self, plan: &Plan, docs: &[FlatHedge]) -> u64 {
+        self.count_corpus(plan, docs).into_iter().sum()
+    }
+
+    /// One plan testing many documents: `out[i]` is
+    /// `plan.exists_into(&docs[i], …)` — each document's pruned,
+    /// early-exiting search runs on whichever worker picks it up.
+    pub fn exists_corpus(&self, plan: &Plan, docs: &[FlatHedge]) -> Vec<bool> {
+        pool::run_scoped(
+            self.jobs,
+            docs.len(),
+            |_| EvalScratch::new(),
+            |scratch, i| plan.exists_into(&docs[i], scratch),
+        )
+    }
+
     /// The dual: many plans over one document. `out[i]` is the matches of
     /// `plans[i]` on `doc`.
     pub fn eval_plans(&self, plans: &[Plan], doc: &FlatHedge) -> Vec<Vec<NodeId>> {
@@ -110,6 +141,21 @@ mod tests {
                 seq,
                 "{jobs} jobs"
             );
+        }
+    }
+
+    #[test]
+    fn count_and_exists_corpus_agree_with_locate() {
+        let mut ab = Alphabet::new();
+        let (plan, docs) = corpus(&mut ab);
+        let counts: Vec<u64> = docs.iter().map(|d| plan.locate(d).len() as u64).collect();
+        let hits: Vec<bool> = counts.iter().map(|&c| c > 0).collect();
+        let total: u64 = counts.iter().sum();
+        for jobs in [1, 2, 3, 7] {
+            let ev = ParallelEvaluator::new(jobs);
+            assert_eq!(ev.count_corpus(&plan, &docs), counts, "{jobs} jobs");
+            assert_eq!(ev.count_total(&plan, &docs), total, "{jobs} jobs");
+            assert_eq!(ev.exists_corpus(&plan, &docs), hits, "{jobs} jobs");
         }
     }
 

@@ -26,6 +26,7 @@ use crate::{HedgeSink, StreamStats};
 pub struct PathStream {
     dense: DenseDfa<SymId>,
     exists: bool,
+    count_only: bool,
     collect_deweys: bool,
     /// DFA state per open element (the ancestor chain).
     stack: Vec<StateId>,
@@ -35,6 +36,9 @@ pub struct PathStream {
     /// Preorder rank of the next node, kept aligned with materialized
     /// [`NodeId`]s (leaves consume ranks too).
     next_id: u32,
+    /// Running number of matches (maintained in every mode; the only
+    /// output of `count_only`).
+    matched: u64,
     located: Vec<NodeId>,
     deweys: Vec<Vec<u32>>,
     stats: StreamStats,
@@ -48,10 +52,12 @@ impl PathStream {
         PathStream {
             dense: DenseDfa::compile(&dfa, &syms),
             exists: false,
+            count_only: false,
             collect_deweys: false,
             stack: Vec::new(),
             counts: vec![0],
             next_id: 0,
+            matched: 0,
             located: Vec::new(),
             deweys: Vec::new(),
             stats: StreamStats::default(),
@@ -71,6 +77,13 @@ impl PathStream {
     /// addresses).
     pub fn collect_deweys(mut self, on: bool) -> PathStream {
         self.collect_deweys = on;
+        self
+    }
+
+    /// Count matches without recording them: memory stays O(depth) no
+    /// matter how many nodes match — the `wc -l` to `exists`'s `grep -q`.
+    pub fn count_only(mut self, on: bool) -> PathStream {
+        self.count_only = on;
         self
     }
 
@@ -99,7 +112,12 @@ impl PathStream {
 
     /// Whether any node matched.
     pub fn found(&self) -> bool {
-        !self.located.is_empty()
+        self.matched > 0
+    }
+
+    /// Number of matches seen so far (maintained in every mode).
+    pub fn count(&self) -> u64 {
+        self.matched
     }
 }
 
@@ -117,9 +135,12 @@ impl HedgeSink for PathStream {
         let s = self.dense.step(from, &a);
         let hit = self.dense.is_accepting(s);
         if hit {
-            self.located.push(id);
-            if self.collect_deweys {
-                self.deweys.push(self.counts.clone());
+            self.matched += 1;
+            if !self.count_only {
+                self.located.push(id);
+                if self.collect_deweys {
+                    self.deweys.push(self.counts.clone());
+                }
             }
         }
         self.stack.push(s);
@@ -194,6 +215,26 @@ mod tests {
         assert!(sink.close());
         assert!(sink.close());
         assert_eq!(sink.finish(), &[2]);
+    }
+
+    #[test]
+    fn count_only_tallies_without_materializing() {
+        let mut ab = Alphabet::new();
+        let path = parse_path("a* b", &mut ab).unwrap();
+        let h = parse_hedge("a<a<b> b> b a<b b>", &mut ab).unwrap();
+        let flat = FlatHedge::from_hedge(&h);
+        let expected = path.locate(&flat).len() as u64;
+        let mut sink = PathStream::new(&path, &ab).count_only(true);
+        assert!(replay_flat(&flat, &mut sink));
+        sink.finish();
+        assert_eq!(sink.count(), expected);
+        assert!(sink.found());
+        assert!(sink.located().is_empty(), "count mode records no ids");
+        // The default mode keeps the same running tally.
+        let mut sink = PathStream::new(&path, &ab);
+        assert!(replay_flat(&flat, &mut sink));
+        assert_eq!(sink.count(), expected);
+        assert_eq!(sink.located().len() as u64, expected);
     }
 
     #[test]

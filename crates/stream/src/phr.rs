@@ -18,7 +18,7 @@
 //! `N` top-down without ever rebuilding the tree.
 
 use hedgex_core::two_pass::sibling_classes;
-use hedgex_core::CompiledPhr;
+use hedgex_core::{CompiledPhr, EvalMode, EvalOutcome};
 use hedgex_ha::{HorizFn, Leaf, WordPool};
 use hedgex_hedge::{NodeId, SymId};
 
@@ -134,18 +134,13 @@ impl<'p> PhrStream<'p> {
         self.stats.live_high_water = self.stats.live_high_water.max(self.live);
     }
 
-    /// Run the second traversal and return the located nodes in document
-    /// order. Call exactly once, after a balanced event stream (unclosed
-    /// frames are drained as if closed, so a truncated stream cannot
-    /// panic — but its answer is only meaningful for the part seen).
-    pub fn finish(&mut self) -> &[NodeId] {
-        // The second traversal is its own timeline phase: on the trace it
-        // separates "while the parse streamed" from "after the last byte".
-        let _span = hedgex_obs::span("stream.phr.finish");
+    /// The shared front half of every `finish_*` flavour: drain still-open
+    /// frames (a truncated stream is treated as if closed) and classify the
+    /// depth-0 sibling group, leaving the per-node class table complete.
+    fn seal(&mut self) {
         while !self.frames.is_empty() {
             self.close();
         }
-        // The depth-0 sibling group.
         let root_ids = std::mem::take(&mut self.root_ids);
         let root_states = std::mem::take(&mut self.root_states);
         let (elder, younger) = (&mut self.elder, &mut self.younger);
@@ -158,32 +153,101 @@ impl<'p> PhrStream<'p> {
             |i, c| elder[root_ids[i] as usize] = c,
             |i, c| younger[root_ids[i] as usize] = c,
         );
-        // Second traversal: ids are preorder ranks, so parents precede
-        // children and a forward scan is a top-down walk.
         let n = self.sym.len();
         self.n_state.clear();
         self.n_state.resize(n, 0);
-        for id in 0..n {
+    }
+
+    /// One pass-2 step for table row `id`: ids are preorder ranks, so the
+    /// parent's `N`-state is already recorded when a child is reached.
+    #[inline]
+    fn step_at(&mut self, id: usize) -> u32 {
+        let parent_state = match self.parent[id] {
+            NONE => self.phr.n_start(),
+            p => self.n_state[p as usize],
+        };
+        let s = self.phr.n_transition(
+            parent_state,
+            self.elder[id],
+            SymId(self.sym[id]),
+            self.younger[id],
+        );
+        self.n_state[id] = s;
+        s
+    }
+
+    /// Run the second traversal and return the located nodes in document
+    /// order. Call exactly once, after a balanced event stream (unclosed
+    /// frames are drained as if closed, so a truncated stream cannot
+    /// panic — but its answer is only meaningful for the part seen).
+    pub fn finish(&mut self) -> &[NodeId] {
+        // The second traversal is its own timeline phase: on the trace it
+        // separates "while the parse streamed" from "after the last byte".
+        let _span = hedgex_obs::span("stream.phr.finish");
+        self.seal();
+        // Second traversal: ids are preorder ranks, so parents precede
+        // children and a forward scan is a top-down walk.
+        for id in 0..self.sym.len() {
             if self.sym[id] == NONE {
                 continue;
             }
-            let parent_state = match self.parent[id] {
-                NONE => self.phr.n_start(),
-                p => self.n_state[p as usize],
-            };
-            let s = self.phr.n_transition(
-                parent_state,
-                self.elder[id],
-                SymId(self.sym[id]),
-                self.younger[id],
-            );
-            self.n_state[id] = s;
+            let s = self.step_at(id);
             if self.phr.n_accepting(s) {
                 self.located.push(id as NodeId);
             }
         }
         self.stats.flush_obs();
         &self.located
+    }
+
+    /// Count mode: the same forward scan, but the only output is a tally —
+    /// no match set is built, however many nodes match. Call exactly once,
+    /// like [`finish`](PhrStream::finish).
+    pub fn finish_count(&mut self) -> u64 {
+        let _span = hedgex_obs::span("stream.phr.finish");
+        self.seal();
+        let mut total = 0u64;
+        for id in 0..self.sym.len() {
+            if self.sym[id] == NONE {
+                continue;
+            }
+            if self.phr.n_accepting(self.step_at(id)) {
+                total += 1;
+            }
+        }
+        self.stats.flush_obs();
+        total
+    }
+
+    /// Exists mode: the forward scan stops at the first accepting state.
+    /// Subtrees that cannot match need no special bookkeeping — a dead
+    /// parent state stays dead under stepping, so barren regions cost one
+    /// table step per node and the early exit does the rest. Call exactly
+    /// once, like [`finish`](PhrStream::finish).
+    pub fn finish_exists(&mut self) -> bool {
+        let _span = hedgex_obs::span("stream.phr.finish");
+        self.seal();
+        for id in 0..self.sym.len() {
+            if self.sym[id] == NONE {
+                continue;
+            }
+            if self.phr.n_accepting(self.step_at(id)) {
+                self.stats.flush_obs();
+                return true;
+            }
+        }
+        self.stats.flush_obs();
+        false
+    }
+
+    /// Finish in the chosen [`EvalMode`]. For `Locate` the match set is
+    /// retained and readable via [`located`](PhrStream::located).
+    pub fn finish_outcome(&mut self, mode: EvalMode) -> EvalOutcome {
+        match mode {
+            EvalMode::Locate => EvalOutcome::Located(self.finish().len()),
+            EvalMode::Count => EvalOutcome::Count(self.finish_count()),
+            EvalMode::Exists => EvalOutcome::Exists(self.finish_exists()),
+        }
     }
 
     /// The matches found by [`finish`](PhrStream::finish).
@@ -306,6 +370,31 @@ mod tests {
         check("[ε ; a ; b][b ; a ; ε]", "b a<a<b $x> b>");
         check("[a<%z>*^z ; b ; a<%z>*^z]*", "a<a<b> b>");
         check("[a* ; b ; a*]", "a a b a");
+    }
+
+    #[test]
+    fn count_and_exists_finishers_agree_with_locate() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[a* ; b ; a*]", &mut ab).unwrap();
+        let compiled = CompiledPhr::compile(&phr);
+        for doc in ["a a b a", "b", "a a a", "b<a b a> a b a"] {
+            let h = parse_hedge(doc, &mut ab).unwrap();
+            let flat = FlatHedge::from_hedge(&h);
+            let expected = hedgex_core::two_pass::locate(&compiled, &flat);
+            let mut sink = PhrStream::new(&compiled);
+            assert!(replay_flat(&flat, &mut sink));
+            assert_eq!(sink.finish_count(), expected.len() as u64, "on {doc}");
+            let mut sink = PhrStream::new(&compiled);
+            assert!(replay_flat(&flat, &mut sink));
+            assert_eq!(sink.finish_exists(), !expected.is_empty(), "on {doc}");
+            let mut sink = PhrStream::new(&compiled);
+            assert!(replay_flat(&flat, &mut sink));
+            assert_eq!(
+                sink.finish_outcome(EvalMode::Count),
+                EvalOutcome::Count(expected.len() as u64),
+                "on {doc}"
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,11 @@ echo "== cargo test -q --offline --no-default-features (parser fuzz) =="
 # Event parser vs tree parser parity is independent of instrumentation.
 cargo test -q --offline --no-default-features -p hedgex --test xml_stream_fuzz
 
+echo "== cargo test -q --offline --no-default-features (mode consistency) =="
+# count == |locate| and exists == (locate ≠ ∅) across every engine must
+# hold with the obs counters compiled out.
+cargo test -q --offline --no-default-features -p hedgex --test mode_props
+
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
@@ -64,6 +69,9 @@ HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench parallel
 
 echo "== E9 streaming bench (smoke mode: 1 sample) =="
 HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench streaming
+
+echo "== E10 mode-ablation bench (smoke mode: 1 sample) =="
+HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench mode_ablation
 
 echo "== bench_compare: committed baseline schema =="
 # Every committed BENCH_*.json must parse and carry the report schema the

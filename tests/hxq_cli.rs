@@ -88,6 +88,14 @@ fn usage_errors_exit_2_with_one_line_diagnostics() {
             &["--path", "a", "--exists", "--mark", "x.xml"][..],
             "'--exists' is incompatible with '--mark'",
         ),
+        (
+            &["--path", "a", "--count", "--exists", "x.xml"][..],
+            "'--count' is incompatible with '--exists'",
+        ),
+        (
+            &["--path", "a", "--count", "--mark", "x.xml"][..],
+            "'--count' is incompatible with '--mark'",
+        ),
     ] {
         let out = hxq(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
@@ -115,9 +123,42 @@ fn help_exits_0_and_documents_the_flags() {
         "--jobs",
         "--stream",
         "--exists",
+        "--count",
     ] {
         assert!(text.contains(flag), "help should document {flag}");
     }
+}
+
+#[test]
+fn malformed_queries_are_usage_errors_in_every_mode() {
+    // The exit-code contract pins 2 for bad queries whether the document
+    // was readable or not: a query error is the user's, not the input's.
+    let xml = scratch("bad-query.xml");
+    std::fs::write(&xml, "<a><b/></a>").unwrap();
+    for extra in [
+        &[][..],
+        &["--stream"][..],
+        &["--exists"][..],
+        &["--count"][..],
+    ] {
+        for query in [&["--path", "a (("][..], &["--phr", "[ε ; a"][..]] {
+            let out = hxq(&[query, extra, &[xml.to_str().unwrap()]].concat());
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "bad query must exit 2 ({query:?} {extra:?})"
+            );
+            assert!(out.stdout.is_empty());
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+            assert!(err.contains("query:"), "{err:?} should name the query");
+        }
+    }
+    // A bad subhedge too.
+    let out = hxq(&["--path", "a b", "--subhedge", "((", xml.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("subhedge:"));
+    std::fs::remove_file(&xml).ok();
 }
 
 #[test]
@@ -583,6 +624,125 @@ fn exists_exit_codes_with_and_without_stream() {
         assert!(miss.stdout.is_empty());
         assert!(miss.stderr.is_empty(), "a miss is not an error");
     }
+    std::fs::remove_file(&xml).ok();
+}
+
+#[test]
+fn count_agrees_with_located_lines_in_every_mode() {
+    let w = doc_workload(300, 5);
+    let src = write_xml(&w.doc, &w.ab, None);
+    let xml = scratch("count.xml");
+    std::fs::write(&xml, &src).unwrap();
+
+    for query in [
+        &["--path", "article section* figure"][..],
+        &["--phr", "[ε ; article ; ε]"][..],
+    ] {
+        // Ground truth: the plain run's printed Dewey lines.
+        let plain = hxq(&[query, &[xml.to_str().unwrap()]].concat());
+        assert_eq!(plain.status.code(), Some(0));
+        let expected = String::from_utf8_lossy(&plain.stdout).lines().count();
+        assert!(expected > 0, "workload should contain figures");
+
+        // Materialized --count prints exactly that number, nothing else.
+        let counted = hxq(&[query, &["--count", xml.to_str().unwrap()]].concat());
+        assert_eq!(
+            counted.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&counted.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&counted.stdout).trim(),
+            expected.to_string(),
+            "{query:?}"
+        );
+
+        // Streaming --count: same number, from a file and from stdin.
+        let streamed = hxq(&[query, &["--stream", "--count", xml.to_str().unwrap()]].concat());
+        assert_eq!(streamed.status.code(), Some(0));
+        assert_eq!(counted.stdout, streamed.stdout, "{query:?} --stream");
+        let piped = hxq_stdin(&[query, &["--stream", "--count", "-"]].concat(), &src);
+        assert_eq!(piped.status.code(), Some(0));
+        assert_eq!(counted.stdout, piped.stdout, "{query:?} --stream via stdin");
+    }
+
+    // --count composes with --repeat/--jobs (the mode-generic warm path)
+    // and the summary line still lands on stderr.
+    let pooled = hxq(&[
+        "--phr",
+        "[ε ; article ; ε]",
+        "--count",
+        "--repeat",
+        "3",
+        "--jobs",
+        "2",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(pooled.status.code(), Some(0));
+    let single = hxq(&[
+        "--phr",
+        "[ε ; article ; ε]",
+        "--count",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(single.stdout, pooled.stdout, "count must not depend on N/J");
+    assert!(String::from_utf8_lossy(&pooled.stderr).contains("repeat: 3 runs in"));
+
+    // A count of zero is an answer: "0" on stdout, exit 0, in both modes.
+    for extra in [&[][..], &["--stream"][..]] {
+        let zero = hxq(&[
+            &["--path", "article nosuch", "--count"][..],
+            extra,
+            &[xml.to_str().unwrap()],
+        ]
+        .concat());
+        assert_eq!(zero.status.code(), Some(0), "{extra:?}");
+        assert_eq!(String::from_utf8_lossy(&zero.stdout).trim(), "0");
+        assert!(zero.stderr.is_empty());
+    }
+    std::fs::remove_file(&xml).ok();
+}
+
+#[test]
+fn graded_bounds_run_through_the_cli_and_the_cap_exits_2() {
+    let xml = scratch("graded.xml");
+    std::fs::write(&xml, "<r><x/><x/><b/><x/></r>").unwrap();
+
+    // b with at least two elder x siblings: the document's b qualifies.
+    // (Triplet sequences read node-to-root: the b triplet comes first.)
+    let hit = hxq(&[
+        "--phr",
+        "[x{>=2} ; b ; x{<=1}][ε ; r ; ε]",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        hit.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&hit.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&hit.stdout).trim(), "/1/3");
+
+    // Demanding three elder x's must miss; --count says 0 and exits 0.
+    let miss = hxq(&[
+        "--phr",
+        "[x{>=3} ; b ; x*][ε ; r ; ε]",
+        "--count",
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(miss.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&miss.stdout).trim(), "0");
+
+    // A bound past the expansion cap is rejected as a usage error with a
+    // one-line diagnostic naming the cap — no document is evaluated.
+    let over = hxq(&["--phr", "[x{>=100000} ; b ; ε]", xml.to_str().unwrap()]);
+    assert_eq!(over.status.code(), Some(2), "cap violation must exit 2");
+    assert!(over.stdout.is_empty());
+    let err = String::from_utf8_lossy(&over.stderr);
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+    assert!(err.contains("over the cap"), "{err:?} should name the cap");
+
     std::fs::remove_file(&xml).ok();
 }
 
