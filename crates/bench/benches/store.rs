@@ -1,0 +1,168 @@
+//! Experiment E11 — the persistent store: cold re-parse vs warm in-memory
+//! evaluation vs index-pruned evaluation over a static DocBook corpus.
+//!
+//! Three ways to answer the same corpus query:
+//!
+//! * **cold** — no store at all: every query re-parses the XML sources and
+//!   evaluates (the "grep a directory" baseline);
+//! * **warm** — documents pre-parsed into [`FlatHedge`]s, plain two-pass
+//!   evaluation over every node of every document;
+//! * **indexed** — a [`DocumentStore`]: per-document postings answer the
+//!   required-symbol check in O(1), and the two-pass traversal visits only
+//!   the ancestors-closure of candidate ranges.
+//!
+//! On the *broad* query (figures inside sections — most documents match)
+//! the index can't skip much and indexed ≈ warm: the point of that row is
+//! that pruning never costs. The headline is the *selective* query: 5% of
+//! the corpus carries a `sidebar` element, so the index proves 95% of the
+//! documents matchless without touching a node, and inside the rare
+//! documents the candidate range excludes every `article` subtree. The
+//! group report carries a measured `pruned_vs_warm` pair on that query
+//! (acceptance floor: ≥ 2×), plus the store's load throughput.
+
+use std::time::Instant;
+
+use hedgex_testkit::{Bench, Json, Throughput};
+
+use hedgex_bench::sidebar_corpus;
+use hedgex_core::{parse_path, EvalScratch, Plan, PlanFacts};
+use hedgex_hedge::{Alphabet, FlatHedge};
+use hedgex_store::{DocumentStore, StoreQuery};
+use hedgex_xml::{parse_xml, to_hedge, write_xml, HedgeConfig};
+
+/// Median wall time of `k` runs of `f`, in nanoseconds.
+fn median_ns(k: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<u128> = (0..k)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(&mut f)();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[k / 2] as f64
+}
+
+/// Compile a path query the way `hxq --store` does: universal PHR
+/// embedding for evaluation, structural required-symbol facts for the
+/// postings quick-reject.
+fn store_plan(src: &str, ab: &mut Alphabet) -> Plan {
+    let path = parse_path(src, ab).expect("bench path parses");
+    let facts = PlanFacts {
+        known_empty: false,
+        why_empty: None,
+        required_syms: path.required_syms().expect("bench paths are nonempty"),
+    };
+    let syms: Vec<_> = ab.syms().collect();
+    let vars: Vec<_> = ab.vars().collect();
+    let z = ab.sub("bench-universal");
+    Plan::compile(&path.to_phr(&syms, &vars, z)).with_facts(facts)
+}
+
+fn warm_count(plan: &Plan, docs: &[FlatHedge], scratch: &mut EvalScratch) -> u64 {
+    docs.iter().map(|d| plan.count_into(d, scratch)).sum()
+}
+
+fn indexed_count(query: &StoreQuery<'_>) -> u64 {
+    query.count_corpus(1).iter().sum()
+}
+
+fn main() {
+    let mut c = Bench::from_env();
+    let smoke = c.smoke();
+    let (num_docs, nodes_per_doc) = if smoke { (24, 400) } else { (120, 2_000) };
+
+    let (mut ab, named, rare_docs) = sidebar_corpus(num_docs, nodes_per_doc, 0xE11);
+    let store = DocumentStore::build(ab.clone(), named.clone());
+    let bytes = store.to_bytes();
+    let docs: Vec<FlatHedge> = named.iter().map(|(_, h)| h.clone()).collect();
+    let sources: Vec<String> = docs.iter().map(|d| write_xml(d, &ab, None)).collect();
+    let total_nodes = store.total_nodes();
+
+    let broad = store_plan("article section* figure", &mut ab);
+    let selective = store_plan("sidebar", &mut ab);
+    let broad_q = StoreQuery::new(&store, &broad);
+    let selective_q = StoreQuery::new(&store, &selective);
+
+    // Correctness before time: the three routes must agree, and the
+    // selective query must really be selective (one sidebar per rare doc).
+    let mut scratch = EvalScratch::new();
+    let broad_want = warm_count(&broad, &docs, &mut scratch);
+    assert!(broad_want > 0, "broad query must match the corpus");
+    assert_eq!(indexed_count(&broad_q), broad_want);
+    assert_eq!(indexed_count(&selective_q), rare_docs as u64);
+    assert_eq!(
+        warm_count(&selective, &docs, &mut scratch),
+        rare_docs as u64
+    );
+    let reloaded = DocumentStore::from_bytes(&bytes).expect("store round-trips");
+    assert_eq!(reloaded.len(), docs.len());
+
+    let mut group = c.benchmark_group("E11_store");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_nodes));
+
+    // The no-store baseline: every query re-parses the corpus.
+    let cfg = HedgeConfig {
+        keep_text: true,
+        keep_attrs: false,
+    };
+    let mut cold_ab = ab.clone();
+    group.bench_function("cold_parse_count_broad", |b| {
+        b.iter(|| {
+            let mut scratch = EvalScratch::new();
+            let total: u64 = sources
+                .iter()
+                .map(|src| {
+                    let doc = parse_xml(src).expect("round-trip parses");
+                    let flat = FlatHedge::from_hedge(&to_hedge(&doc, &mut cold_ab, cfg));
+                    broad.count_into(&flat, &mut scratch)
+                })
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("warm_count_broad", |b| {
+        b.iter(|| std::hint::black_box(warm_count(&broad, &docs, &mut scratch)))
+    });
+    group.bench_function("indexed_count_broad", |b| {
+        b.iter(|| std::hint::black_box(indexed_count(&broad_q)))
+    });
+    group.bench_function("warm_count_selective", |b| {
+        b.iter(|| std::hint::black_box(warm_count(&selective, &docs, &mut scratch)))
+    });
+    group.bench_function("indexed_count_selective", |b| {
+        b.iter(|| std::hint::black_box(indexed_count(&selective_q)))
+    });
+    group.bench_function("load_store", |b| {
+        b.iter(|| std::hint::black_box(DocumentStore::from_bytes(&bytes).expect("loads").len()))
+    });
+
+    // Direct speedup evidence for the acceptance floor (indexed ≥ 2× over
+    // warm on the selective query): medians of a measured pair.
+    let k = if smoke { 3 } else { 11 };
+    let warm_ns = median_ns(k, || {
+        std::hint::black_box(warm_count(&selective, &docs, &mut scratch));
+    });
+    let indexed_ns = median_ns(k, || {
+        std::hint::black_box(indexed_count(&selective_q));
+    });
+    let speedup = warm_ns / indexed_ns.max(1.0);
+    group.attach_extra(
+        "pruned_vs_warm",
+        Json::obj([
+            ("docs", Json::Num(docs.len() as f64)),
+            ("rare_docs", Json::Num(rare_docs as f64)),
+            ("total_nodes", Json::Num(total_nodes as f64)),
+            ("warm_median_ns", Json::Num(warm_ns)),
+            ("indexed_median_ns", Json::Num(indexed_ns)),
+            ("speedup", Json::Num(speedup)),
+        ]),
+    );
+    assert!(
+        speedup >= 2.0,
+        "indexed evaluation must beat warm in-memory by >= 2x on the \
+         selective query, got {speedup:.2}x ({warm_ns:.0} ns vs {indexed_ns:.0} ns)"
+    );
+    group.finish();
+}

@@ -50,6 +50,7 @@ const GROUP_TARGETS: &[(&str, &str)] = &[
     ("E8_path_ablation", "path_ablation"),
     ("E9_streaming", "streaming"),
     ("E10_mode_ablation", "mode_ablation"),
+    ("E11_store", "store"),
 ];
 
 const HELP: &str = "\
@@ -64,6 +65,10 @@ usage: bench_compare [OPTIONS]
   --smoke              run benches in smoke mode (1 sample) when using --run
   --threshold PCT      regression threshold in percent (default 50)
   --trajectory PATH    append an audit row to this JSON array file
+  --trajectory-covers PATH
+                       gate: every BENCH_*.json group in --baseline-dir must
+                       appear in the latest row of the trajectory at PATH;
+                       exit 1 listing any group the history has fallen behind on
   --self-test          feed the comparator a synthetic 3x slowdown; exits
                        non-zero iff the regression is detected (so a zero
                        exit here means the sentinel is blind)
@@ -79,6 +84,7 @@ struct Args {
     smoke: bool,
     threshold_pct: f64,
     trajectory: Option<PathBuf>,
+    trajectory_covers: Option<PathBuf>,
     self_test: bool,
 }
 
@@ -96,6 +102,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         smoke: false,
         threshold_pct: 50.0,
         trajectory: None,
+        trajectory_covers: None,
         self_test: false,
     };
     let mut it = std::env::args().skip(1);
@@ -121,6 +128,9 @@ fn parse_args() -> Result<Args, ExitCode> {
                 }
             }
             "--trajectory" => out.trajectory = Some(PathBuf::from(value("--trajectory")?)),
+            "--trajectory-covers" => {
+                out.trajectory_covers = Some(PathBuf::from(value("--trajectory-covers")?))
+            }
             "--self-test" => out.self_test = true,
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -323,6 +333,62 @@ fn append_trajectory(path: &Path, row: Json) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// The coverage gate: every committed `BENCH_*.json` group must appear in
+/// the *latest* trajectory row, so the audit history cannot silently fall
+/// behind the reports it is supposed to chronicle (e.g. a new experiment
+/// committed without re-running `--trajectory`).
+fn trajectory_covers(path: &Path, baseline_dir: &Path) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rows = match Json::parse(&text).map_err(|e| format!("{}: {e:?}", path.display()))? {
+        Json::Arr(rows) => rows,
+        _ => return Err(format!("{}: not a JSON array", path.display())),
+    };
+    let last = rows
+        .last()
+        .ok_or_else(|| format!("{}: empty trajectory", path.display()))?;
+    let covered: Vec<&str> = last
+        .get("groups")
+        .and_then(Json::as_arr)
+        .map(|gs| {
+            gs.iter()
+                .filter_map(|g| g.get("group").and_then(Json::as_str))
+                .collect()
+        })
+        .unwrap_or_default();
+    let reports = load_reports(baseline_dir)?;
+    if reports.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json reports in {}",
+            baseline_dir.display()
+        ));
+    }
+    let mut missing = Vec::new();
+    for (name, report) in &reports {
+        let group = report
+            .get("group")
+            .and_then(Json::as_str)
+            .unwrap_or(name.as_str());
+        if !covered.contains(&group) {
+            missing.push(format!("{name} (group '{group}')"));
+        }
+    }
+    if missing.is_empty() {
+        println!(
+            "trajectory: latest row covers all {} committed report groups",
+            reports.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "trajectory: latest row of {} is missing {} — re-run \
+             'bench_compare --trajectory' after a full bench pass",
+            path.display(),
+            missing.join(", ")
+        );
+        Ok(ExitCode::from(1))
+    }
+}
+
 /// The synthetic-slowdown drill: a sentinel that cannot see a 3x slowdown
 /// is worse than none, so CI asserts this exits NON-zero.
 fn self_test(threshold_pct: f64) -> ExitCode {
@@ -413,6 +479,10 @@ fn real_main() -> Result<ExitCode, String> {
 
     if args.self_test {
         return Ok(self_test(args.threshold_pct));
+    }
+
+    if let Some(path) = &args.trajectory_covers {
+        return trajectory_covers(path, &args.baseline_dir);
     }
 
     if !args.check.is_empty() {

@@ -71,6 +71,40 @@ pub fn corpus_workload(num_docs: usize, nodes_per_doc: usize, seed: u64) -> Corp
     }
 }
 
+/// A named-document corpus for the E11 store experiment: `num_docs`
+/// DocBook documents over one alphabet, with one top-level `sidebar`
+/// element appended to every 20th document (5% of the corpus). A query
+/// for `sidebar` is then *selective*: the structural index proves 95% of
+/// the documents matchless from their postings alone, and inside the rare
+/// documents the candidate range excludes every `article` subtree.
+/// Returns `(alphabet, named docs, number of sidebar-carrying docs)`.
+pub fn sidebar_corpus(
+    num_docs: usize,
+    nodes_per_doc: usize,
+    seed: u64,
+) -> (Alphabet, Vec<(String, FlatHedge)>, usize) {
+    let mut ab = Alphabet::new();
+    let sidebar = ab.sym("sidebar");
+    let para = ab.sym("para");
+    let cfg = DocbookConfig {
+        target_nodes: nodes_per_doc,
+        ..DocbookConfig::default()
+    };
+    let mut rare = 0;
+    let docs: Vec<(String, FlatHedge)> = (0..num_docs)
+        .map(|i| {
+            let doc_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut h: Hedge = docbook(&cfg, doc_seed, &mut ab);
+            if i % 20 == 0 {
+                rare += 1;
+                h = h.concat(Hedge::node(sidebar, Hedge::leaf(para)));
+            }
+            (format!("doc{i:04}.xml"), FlatHedge::from_hedge(&h))
+        })
+        .collect();
+    (ab, docs, rare)
+}
+
 /// The universal hedge expression over the DocBook alphabet (interns into
 /// `ab`; call after [`doc_workload`] so names align).
 pub fn docbook_universal(ab: &mut Alphabet) -> String {

@@ -16,7 +16,7 @@
 //! Concrete syntax: HRE-style regex over names, e.g. `sec* fig`,
 //! `(chap|app) sec fig?`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use hedgex_automata::{CharClass, DenseDfa, Dfa, Nfa, Regex};
 use hedgex_ha::{HState, Leaf, Nha};
@@ -103,6 +103,37 @@ impl PathExpr {
                 )
             });
         Phr { triplets, regex }
+    }
+
+    /// Symbols that appear on *every* root-to-node path the expression
+    /// accepts, or `None` when the expression denotes no paths at all.
+    /// Purely structural — no automata are built: a starred step requires
+    /// nothing, an alternation requires what *both* branches require, a
+    /// concatenation requires what either factor requires. Sound for
+    /// index pruning: every located node's ancestor chain spells an
+    /// accepted word, so a document lacking a required symbol cannot
+    /// contain a match.
+    pub fn required_syms(&self) -> Option<Vec<SymId>> {
+        fn required(r: &Regex<SymId>) -> Option<BTreeSet<SymId>> {
+            match r {
+                // None = empty language (every symbol vacuously required).
+                Regex::Empty => None,
+                Regex::Epsilon | Regex::Star(_) => Some(BTreeSet::new()),
+                Regex::Sym(CharClass::In(set)) if set.is_empty() => None,
+                Regex::Sym(CharClass::In(set)) if set.len() == 1 => Some(set.clone()),
+                Regex::Sym(_) => Some(BTreeSet::new()),
+                Regex::Concat(a, b) => match (required(a), required(b)) {
+                    (Some(x), Some(y)) => Some(x.union(&y).cloned().collect()),
+                    _ => None,
+                },
+                Regex::Alt(a, b) => match (required(a), required(b)) {
+                    (Some(x), Some(y)) => Some(x.intersection(&y).cloned().collect()),
+                    (Some(x), None) => Some(x),
+                    (None, y) => y,
+                },
+            }
+        }
+        required(&self.regex).map(|set| set.into_iter().collect())
     }
 
     /// Section 8's simplified match-identifying automaton for path
@@ -378,5 +409,26 @@ mod tests {
         assert!(parse_path("(a", &mut ab).is_err());
         assert!(parse_path("*", &mut ab).is_err());
         assert!(parse_path("a)", &mut ab).is_err());
+    }
+
+    #[test]
+    fn required_syms_skip_starred_and_alternated_steps() {
+        let mut ab = Alphabet::new();
+        let (a, b, c) = (ab.sym("a"), ab.sym("b"), ab.sym("c"));
+        let req = |src: &str, ab: &mut Alphabet| parse_path(src, ab).unwrap().required_syms();
+        assert_eq!(req("a b* c", &mut ab), Some(vec![a, c]));
+        assert_eq!(req("a b c", &mut ab), Some(vec![a, b, c]));
+        assert_eq!(req("(a|b) c", &mut ab), Some(vec![c]));
+        assert_eq!(req("(a c|c a)", &mut ab), Some(vec![a, c]));
+        assert_eq!(req("a?", &mut ab), Some(vec![]));
+        assert_eq!(req("b b*", &mut ab), Some(vec![b]));
+        assert_eq!(
+            PathExpr {
+                regex: Regex::Empty
+            }
+            .required_syms(),
+            None,
+            "the empty path language requires everything"
+        );
     }
 }

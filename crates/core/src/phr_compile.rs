@@ -339,6 +339,46 @@ impl CompiledPhr {
         self.engine.n_live[s as usize]
     }
 
+    /// A sound over-approximation of the symbols that can label a located
+    /// node: label kind `l` *can accept* iff some `N`-state, stepped by
+    /// some achievable `(elder kind, l, younger kind)` column, lands on an
+    /// accepting state. Every located node takes exactly one such step
+    /// (with its actual parent state and sibling classes, which are inside
+    /// the quantified space), so a symbol whose kind cannot accept is
+    /// provably absent from every match set — the justification for
+    /// restricting evaluation to an index's candidate postings.
+    ///
+    /// Returns `None` when the all-zero label kind can accept: then
+    /// symbols labelling no triplet (including symbols the query has never
+    /// seen) may match, and no finite symbol list is a sound restriction.
+    pub fn match_syms(&self) -> Option<Vec<SymId>> {
+        let e = &self.engine;
+        let width = e.sigs.len();
+        let lk_yk = e.n_label_kinds * e.n_younger_kinds;
+        let n_elder_kinds = e.col3.len().checked_div(lk_yk).unwrap_or(0);
+        let kind_accepts: Vec<bool> = (0..e.n_label_kinds)
+            .map(|l| {
+                (0..n_elder_kinds).any(|ek| {
+                    (0..e.n_younger_kinds).any(|y| {
+                        let col =
+                            e.col3[(ek * e.n_label_kinds + l) * e.n_younger_kinds + y] as usize;
+                        (0..e.n_accept.len())
+                            .any(|s| e.n_accept[e.n_table[s * width + col] as usize])
+                    })
+                })
+            })
+            .collect();
+        if kind_accepts[e.zero_label_kind as usize] {
+            return None;
+        }
+        Some(
+            (0..e.label_kind.len())
+                .filter(|&a| kind_accepts[e.label_kind[a] as usize])
+                .map(|a| SymId(a as u32))
+                .collect(),
+        )
+    }
+
     /// Materialize `N` as an explicit table over all signatures achievable
     /// from the class space — the finite `(S, μ, s₀, S_fin)` of Theorem 4,
     /// needed by the Theorem 5 construction. Returns the explicit automaton
@@ -712,6 +752,28 @@ mod tests {
                 assert_eq!(row[cl as usize], c.classes.step(cl, &q));
             }
         }
+    }
+
+    #[test]
+    fn match_syms_overapproximates_locatable_labels() {
+        let mut ab = Alphabet::new();
+        let phr = parse_phr("[ε ; a ; ε]", &mut ab).unwrap();
+        let a = ab.get_sym("a").unwrap();
+        let c = CompiledPhr::compile(&phr);
+        assert_eq!(c.match_syms(), Some(vec![a]));
+
+        // Only `a` labels a triplet: `b` must be excluded even though the
+        // query mentions it in sibling position.
+        let phr = parse_phr("[ε ; a ; b][b ; a ; ε]", &mut ab).unwrap();
+        let b = ab.get_sym("b").unwrap();
+        let c = CompiledPhr::compile(&phr);
+        assert_eq!(c.match_syms(), Some(vec![a]));
+
+        // Both labels can sit on a located node.
+        let phr = parse_phr("([a* ; b ; a*]|[ε ; a ; ε])*", &mut ab).unwrap();
+        let c = CompiledPhr::compile(&phr);
+        let syms = c.match_syms().unwrap();
+        assert!(syms.contains(&a) && syms.contains(&b));
     }
 
     #[test]

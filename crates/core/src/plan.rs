@@ -188,6 +188,48 @@ impl Plan {
         two_pass::exists_into(&self.inner, h, scratch)
     }
 
+    /// The indexed counterpart of the `lacks_required_sym` label scan:
+    /// given an oracle for "does the document contain symbol `a`" (in a
+    /// store, one postings-emptiness probe — O(1) per symbol instead of
+    /// O(nodes)), report whether some analysis-required symbol is absent.
+    /// `true` is a sound proof that the document has no matches.
+    pub fn missing_required_sym(&self, has_sym: impl Fn(hedgex_hedge::SymId) -> bool) -> bool {
+        let Some(facts) = self.facts.as_deref() else {
+            return false;
+        };
+        if facts.required_syms.iter().any(|&s| !has_sym(s)) {
+            obs::counter_inc("core.plan.symbol_rejects");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Index-pruned evaluation (see [`two_pass::eval_pruned_into`]): the
+    /// same answer as [`Plan::eval_into`], visiting only the
+    /// ancestors-closure of the candidate set. A plan proven empty by
+    /// analysis answers without reading the document, exactly like the
+    /// unpruned front doors. Returns the outcome plus the number of
+    /// subtrees the index pruned.
+    pub fn eval_pruned_into(
+        &self,
+        h: &FlatHedge,
+        prune: &two_pass::PruneInfo<'_>,
+        scratch: &mut EvalScratch,
+        mode: EvalMode,
+    ) -> (EvalOutcome, u64) {
+        if self.known_empty() {
+            scratch.clear_located();
+            let outcome = match mode {
+                EvalMode::Locate => EvalOutcome::Located(0),
+                EvalMode::Count => EvalOutcome::Count(0),
+                EvalMode::Exists => EvalOutcome::Exists(false),
+            };
+            return (outcome, 0);
+        }
+        two_pass::eval_pruned_into(&self.inner, h, prune, scratch, mode)
+    }
+
     /// Evaluate in the chosen [`EvalMode`]. The plan itself is
     /// mode-independent — one compiled plan (and one cache entry) serves
     /// locate, count, and exists alike.

@@ -569,6 +569,176 @@ fn exists_core(
     false
 }
 
+/// What a structural index knows about one document: the sorted candidate
+/// nodes (every node whose label is in [`CompiledPhr::match_syms`] — in a
+/// store, the union of those symbols' postings) and the preorder subtree
+/// extents (`subtree_end[n]` is one past the last descendant of `n`, so
+/// the descendants-of-`n` question is the single range `n..subtree_end[n]`
+/// — the materialized form of the sortable-path range `P0..PZW`).
+///
+/// [`eval_pruned_into`] only ever *skips* work based on this data, and
+/// only subtrees containing no candidate, so a sound over-approximation in
+/// `candidates` keeps every answer exact.
+pub struct PruneInfo<'a> {
+    /// Candidate match nodes, strictly increasing.
+    pub candidates: &'a [NodeId],
+    /// `subtree_end[n]` = one past the last preorder descendant of `n`.
+    pub subtree_end: &'a [NodeId],
+}
+
+impl PruneInfo<'_> {
+    /// Is any candidate inside `n`'s subtree range `[n, subtree_end[n])`?
+    #[inline]
+    fn subtree_has_candidate(&self, n: NodeId) -> bool {
+        let i = self.candidates.partition_point(|&c| c < n);
+        self.candidates
+            .get(i)
+            .is_some_and(|&c| c < self.subtree_end[n as usize])
+    }
+}
+
+/// Index-pruned evaluation: the answer of [`eval_into`], restricted to the
+/// ancestors-closure of the candidate set. One fused traversal serves all
+/// three modes; alongside the outcome it reports how many subtrees the
+/// index alone pruned (candidate-free ranges never visited — the automaton
+/// liveness pruning of Exists mode composes on top but is not counted).
+///
+/// Soundness: an accepting node's label is in `match_syms`, so it is a
+/// candidate, so it and all of its ancestors carry a candidate in their
+/// subtree range and are visited with exactly the states/classes the
+/// unpruned traversal would compute (classes are per sibling group, and a
+/// group is classified before any of its members is expanded). A document
+/// with *no* candidates therefore has no matches at all, and the traversal
+/// — including the bottom-up `M`-run — is skipped outright.
+pub fn eval_pruned_into(
+    phr: &CompiledPhr,
+    h: &FlatHedge,
+    prune: &PruneInfo<'_>,
+    scratch: &mut EvalScratch,
+    mode: EvalMode,
+) -> (EvalOutcome, u64) {
+    let _span = obs::span("core.two_pass.pruned");
+    let locate = matches!(mode, EvalMode::Locate);
+    if locate {
+        scratch.located.clear();
+    }
+    let zero = || match mode {
+        EvalMode::Locate => EvalOutcome::Located(0),
+        EvalMode::Count => EvalOutcome::Count(0),
+        EvalMode::Exists => EvalOutcome::Exists(false),
+    };
+    if prune.candidates.is_empty() {
+        return (zero(), h.roots().len() as u64);
+    }
+    debug_assert_eq!(prune.subtree_end.len(), h.num_nodes());
+    phr.m.run_into(h, &mut scratch.ha);
+    let EvalScratch {
+        ha,
+        elder_class,
+        younger_class,
+        f,
+        nf,
+        group,
+        stack,
+        located,
+        ..
+    } = scratch;
+    let states = ha.states();
+    let n = h.num_nodes();
+    let cls_start = phr.classes.start();
+    // Grow-only, no clear (see `exists_core`): a group's classes are
+    // always written before any of its nodes pops.
+    if elder_class.len() < n {
+        elder_class.resize(n, cls_start);
+    }
+    if younger_class.len() < n {
+        younger_class.resize(n, cls_start);
+    }
+    let classify = |g: &[NodeId],
+                    elder_class: &mut [u32],
+                    younger_class: &mut [u32],
+                    f: &mut Vec<u32>,
+                    nf: &mut Vec<u32>| {
+        sibling_classes(
+            phr,
+            g.len(),
+            |i| states[g[i] as usize],
+            f,
+            nf,
+            |i, c| elder_class[g[i] as usize] = c,
+            |i, c| younger_class[g[i] as usize] = c,
+        );
+    };
+
+    let mut count = 0u64;
+    let mut skipped = 0u64;
+    stack.clear();
+    classify(h.roots(), elder_class, younger_class, f, nf);
+    let start = phr.n_start();
+    for &r in h.roots().iter().rev() {
+        stack.push((r, start));
+    }
+    while let Some((id, parent_state)) = stack.pop() {
+        // The index gate: a subtree with no candidate can contain no
+        // accepting node — skip it before spending even one table step.
+        if !prune.subtree_has_candidate(id) {
+            skipped += 1;
+            continue;
+        }
+        let FlatLabel::Sym(a) = h.label(id) else {
+            continue;
+        };
+        let s = phr.n_transition(
+            parent_state,
+            elder_class[id as usize],
+            a,
+            younger_class[id as usize],
+        );
+        if phr.n_accepting(s) {
+            match mode {
+                EvalMode::Locate => located.push(id),
+                EvalMode::Count => count += 1,
+                EvalMode::Exists => {
+                    obs::counter_add("core.two_pass.pruned.skipped", skipped);
+                    obs::counter_add("core.two_pass.located", 1);
+                    return (EvalOutcome::Exists(true), skipped);
+                }
+            }
+        }
+        // Liveness pruning composes: even inside a candidate range, a dead
+        // N-state proves every descendant barren.
+        if !phr.n_live(s) {
+            continue;
+        }
+        group.clear();
+        let mut c = h.first_child(id);
+        while let Some(cid) = c {
+            group.push(cid);
+            c = h.next_sibling(cid);
+        }
+        if group.is_empty() {
+            continue;
+        }
+        classify(group, elder_class, younger_class, f, nf);
+        for &cid in group.iter().rev() {
+            stack.push((cid, s));
+        }
+    }
+    obs::counter_add("core.two_pass.pruned.skipped", skipped);
+    let outcome = match mode {
+        EvalMode::Locate => {
+            obs::counter_add("core.two_pass.located", located.len() as u64);
+            EvalOutcome::Located(located.len())
+        }
+        EvalMode::Count => {
+            obs::counter_add("core.two_pass.located", count);
+            EvalOutcome::Count(count)
+        }
+        EvalMode::Exists => EvalOutcome::Exists(false),
+    };
+    (outcome, skipped)
+}
+
 /// Run the evaluation in the chosen [`EvalMode`]. For `Locate` the match
 /// set is left in the scratch ([`EvalScratch::located`]); the outcome
 /// carries only its size.
@@ -740,6 +910,63 @@ mod tests {
         assert!(!exists(&compiled, &f));
         assert_eq!(count(&compiled, &f), 0);
         assert!(locate(&compiled, &f).is_empty());
+    }
+
+    /// Preorder subtree extents by reverse max-propagation (what a store
+    /// index materializes from the sortable paths).
+    fn subtree_ends(h: &FlatHedge) -> Vec<NodeId> {
+        let n = h.num_nodes();
+        let mut end: Vec<NodeId> = (1..=n as NodeId).collect();
+        for id in (0..n as NodeId).rev() {
+            if let Some(p) = h.parent(id) {
+                end[p as usize] = end[p as usize].max(end[id as usize]);
+            }
+        }
+        end
+    }
+
+    #[test]
+    fn pruned_eval_agrees_with_unpruned_on_enumerated_hedges() {
+        for phr_src in [
+            "[ε ; a ; ε]",
+            "[a* ; b ; a]|[ε ; b ; a*]",
+            "[ε ; a ; b][b ; a ; ε]",
+            "([ε ; a ; ε]|[ε ; b ; ε])*",
+        ] {
+            let mut ab = Alphabet::new();
+            let phr = parse_phr(phr_src, &mut ab).unwrap();
+            let compiled = CompiledPhr::compile(&phr);
+            let match_syms = compiled.match_syms();
+            let syms: Vec<_> = ab.syms().collect();
+            let vars: Vec<_> = ab.vars().collect();
+            let mut scratch = EvalScratch::new();
+            for h in enumerate_hedges(&syms, &vars, 4) {
+                let f = FlatHedge::from_hedge(&h);
+                let expected = locate(&compiled, &f);
+                let end = subtree_ends(&f);
+                let candidates: Vec<NodeId> = match &match_syms {
+                    None => f.preorder().collect(),
+                    Some(ms) => f
+                        .preorder()
+                        .filter(|&n| matches!(f.label(n), FlatLabel::Sym(a) if ms.contains(&a)))
+                        .collect(),
+                };
+                let prune = PruneInfo {
+                    candidates: &candidates,
+                    subtree_end: &end,
+                };
+                let (out, _) =
+                    eval_pruned_into(&compiled, &f, &prune, &mut scratch, EvalMode::Locate);
+                assert_eq!(out, EvalOutcome::Located(expected.len()), "{phr_src} {h:?}");
+                assert_eq!(scratch.located(), &expected[..], "{phr_src} {h:?}");
+                let (out, _) =
+                    eval_pruned_into(&compiled, &f, &prune, &mut scratch, EvalMode::Count);
+                assert_eq!(out, EvalOutcome::Count(expected.len() as u64));
+                let (out, _) =
+                    eval_pruned_into(&compiled, &f, &prune, &mut scratch, EvalMode::Exists);
+                assert_eq!(out, EvalOutcome::Exists(!expected.is_empty()));
+            }
+        }
     }
 
     #[test]

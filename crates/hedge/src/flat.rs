@@ -29,7 +29,7 @@ pub enum FlatLabel {
 /// Sentinel for "no node".
 pub const NIL: NodeId = u32::MAX;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct FlatNode {
     label: FlatLabel,
     parent: NodeId,
@@ -39,11 +39,29 @@ struct FlatNode {
 }
 
 /// A hedge flattened into an arena, in document (preorder) order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlatHedge {
     nodes: Vec<FlatNode>,
     roots: Vec<NodeId>,
 }
+
+/// Why a `(label, parent)` record sequence is not a valid preorder forest
+/// (see [`FlatHedge::from_parts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FromPartsError {
+    /// Index of the offending record.
+    pub index: usize,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for FromPartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {}: {}", self.index, self.reason)
+    }
+}
+
+impl std::error::Error for FromPartsError {}
 
 impl FlatHedge {
     /// Flatten a recursive hedge.
@@ -103,6 +121,90 @@ impl FlatHedge {
             }
         }
         out
+    }
+
+    /// Rebuild a flat hedge from its essential data: one `(label, parent)`
+    /// record per node, in preorder (`NIL` parent marks a root). The
+    /// sibling/child links are derivable — in preorder a node always
+    /// arrives as the *youngest* child of its parent so far — which is what
+    /// makes the dense layout serialization-shaped: an on-disk format needs
+    /// to persist only these records (see `hedgex-store`).
+    ///
+    /// The sequence is validated, not trusted: each record's parent must be
+    /// an *open ancestor* — a `Σ`-labelled node on the rightmost path at
+    /// that point of the walk. That single rule enforces everything the
+    /// evaluators rely on (parents precede children, only `Σ` nodes have
+    /// children, and every subtree occupies a contiguous preorder range);
+    /// violations return an error naming the offending record.
+    ///
+    /// Round-trip law: for any flat hedge `h`,
+    /// `from_parts(h.preorder().map(|n| (h.label(n), h.parent(n)…))) == h`.
+    pub fn from_parts(
+        records: impl IntoIterator<Item = (FlatLabel, NodeId)>,
+    ) -> Result<FlatHedge, FromPartsError> {
+        let records = records.into_iter();
+        let mut out = FlatHedge {
+            nodes: Vec::with_capacity(records.size_hint().0),
+            roots: Vec::new(),
+        };
+        // The rightmost path: every Σ node whose subtree is still open.
+        let mut open: Vec<NodeId> = Vec::new();
+        let mut last_child: Vec<NodeId> = Vec::new();
+        let mut last_root = NIL;
+        for (i, (label, parent)) in records.enumerate() {
+            if i >= NIL as usize {
+                return Err(FromPartsError {
+                    index: i,
+                    reason: "too many nodes for a u32 arena",
+                });
+            }
+            let id = i as NodeId;
+            if parent == NIL {
+                open.clear();
+            } else {
+                // Close subtrees until the claimed parent is the innermost
+                // open ancestor; each node is pushed and popped at most
+                // once, so the whole rebuild stays linear.
+                while open.last().is_some_and(|&a| a != parent) {
+                    open.pop();
+                }
+                if open.last() != Some(&parent) {
+                    return Err(FromPartsError {
+                        index: i,
+                        reason: "parent is not an open Σ ancestor (records are not in preorder)",
+                    });
+                }
+            }
+            let prev = if parent == NIL {
+                last_root
+            } else {
+                last_child[parent as usize]
+            };
+            out.nodes.push(FlatNode {
+                label,
+                parent,
+                first_child: NIL,
+                next_sibling: NIL,
+                prev_sibling: prev,
+            });
+            last_child.push(NIL);
+            if prev != NIL {
+                out.nodes[prev as usize].next_sibling = id;
+            }
+            if parent == NIL {
+                out.roots.push(id);
+                last_root = id;
+            } else {
+                if last_child[parent as usize] == NIL {
+                    out.nodes[parent as usize].first_child = id;
+                }
+                last_child[parent as usize] = id;
+            }
+            if matches!(label, FlatLabel::Sym(_)) {
+                open.push(id);
+            }
+        }
+        Ok(out)
     }
 
     /// Number of nodes.
@@ -400,6 +502,37 @@ mod tests {
                 stack.append(&mut inner.0);
             }
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_non_preorder() {
+        let (_, f) = sample();
+        let records: Vec<(FlatLabel, NodeId)> = f
+            .preorder()
+            .map(|n| (f.label(n), f.parent(n).unwrap_or(NIL)))
+            .collect();
+        let rebuilt = FlatHedge::from_parts(records.clone()).unwrap();
+        assert_eq!(rebuilt, f, "links are fully derivable from (label, parent)");
+
+        // Forward parent reference.
+        let mut bad = records.clone();
+        bad[1].1 = 3;
+        assert_eq!(FlatHedge::from_parts(bad).unwrap_err().index, 1);
+        // Self parent.
+        let mut bad = records.clone();
+        bad[2].1 = 2;
+        assert_eq!(FlatHedge::from_parts(bad).unwrap_err().index, 2);
+        // Parent already closed: node 5's subtree-range parent is 1, but 0
+        // left the rightmost path as soon as node 1 arrived.
+        let mut bad = records.clone();
+        bad[5].1 = 0;
+        assert_eq!(FlatHedge::from_parts(bad).unwrap_err().index, 5);
+        // A non-Σ parent (node 4 is the $x leaf) is never open.
+        let mut bad = records;
+        bad[5].1 = 4;
+        assert_eq!(FlatHedge::from_parts(bad).unwrap_err().index, 5);
+        // The empty hedge is fine.
+        assert_eq!(FlatHedge::from_parts([]).unwrap().num_nodes(), 0);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub struct NamespaceSizes {
 }
 
 /// Shared interner for the three name spaces.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Alphabet {
     syms: Vec<String>,
     vars: Vec<String>,

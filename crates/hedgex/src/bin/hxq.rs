@@ -15,6 +15,9 @@
 //!                                                     # O(depth) memory
 //! hxq check '[…;figure;…]' --schema HRE               # static analysis,
 //!                                                     # no document at all
+//! hxq index corpus/ --out corpus.hxst                 # parse + index once
+//! hxq --store corpus.hxst --path '…'                  # indexed, pruned
+//!                                                     # queries over it all
 //! ```
 //!
 //! Prints the Dewey addresses of located nodes (one per line), or with
@@ -55,6 +58,7 @@ struct Args {
     stream: bool,
     exists: bool,
     count: bool,
+    store: Option<String>,
     file: Option<String>,
 }
 
@@ -90,6 +94,13 @@ usage: hxq (--path EXPR | --phr EXPR) [OPTIONS] FILE|-
   --count              print the number of matching nodes instead of their
                        addresses; no match set is materialized (with
                        --stream + --path, memory stays O(depth))
+  --store STORE        query every document in a persistent store built by
+                       'hxq index' instead of a FILE: answers use the
+                       store's structural index to skip documents and
+                       subtrees that provably cannot match. Locate output
+                       is 'NAME:/dewey' lines; --count prints the corpus
+                       total; --exists exits 0 if any document matches.
+                       Composes with --repeat/--jobs; no FILE argument
   -h, --help           show this help
   FILE                 an XML file, or '-' for stdin
 
@@ -102,7 +113,13 @@ static analysis (no document involved):
     --against-subhedge HRE subhedge condition of QUERY2
     --metrics-json PATH    write phase timings and verdicts as JSON to PATH
     --trace PATH           write the span timeline as Chrome trace-event JSON
-  exit code: 0 satisfiable, 1 provably empty, 2 usage error";
+  exit code: 0 satisfiable, 1 provably empty, 2 usage error
+
+persistent corpora:
+  hxq index DIR --out STORE [--attrs]
+    parse every *.xml file in DIR (sorted by name) and write a versioned,
+    checksummed store with a per-document structural index to STORE
+  exit code: 0 ok, 1 i/o or parse error, 2 usage error";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("hxq: {msg} (try 'hxq --help')");
@@ -124,6 +141,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         stream: false,
         exists: false,
         count: false,
+        store: None,
         file: None,
     };
     let mut it = std::env::args().skip(1);
@@ -144,6 +162,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--count" => out.count = true,
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?),
             "--trace" => out.trace = Some(value("--trace")?),
+            "--store" => out.store = Some(value("--store")?),
             "--repeat" => {
                 let n = value("--repeat")?;
                 match n.parse::<u64>() {
@@ -177,7 +196,32 @@ fn parse_args() -> Result<Args, ExitCode> {
             _ => return Err(usage_error(&format!("unexpected argument '{arg}'"))),
         }
     }
-    if out.file.is_none() {
+    if let Some(store) = &out.store {
+        if store == "-" || out.file.as_deref() == Some("-") {
+            return Err(usage_error(
+                "'--store' cannot read from stdin: pass a store file written by 'hxq index'",
+            ));
+        }
+        if let Some(file) = &out.file {
+            return Err(usage_error(&format!(
+                "'--store' takes no FILE argument (documents come from the store), got '{file}'"
+            )));
+        }
+        for (on, flag) in [
+            (out.stream, "--stream"),
+            (out.mark, "--mark"),
+            (out.subhedge.is_some(), "--subhedge"),
+            (out.explain, "--explain"),
+            (out.metrics_json.is_some(), "--metrics-json"),
+            (out.keep_attrs, "--attrs"),
+        ] {
+            if on {
+                return Err(usage_error(&format!(
+                    "'--store' is incompatible with '{flag}'"
+                )));
+            }
+        }
+    } else if out.file.is_none() {
         return Err(usage_error("no input file (use '-' for stdin)"));
     }
     if out.path.is_none() && out.phr.is_none() {
@@ -534,7 +578,119 @@ fn run(args: Args) -> Result<ExitCode, String> {
     Ok(code)
 }
 
+/// `--store STORE`: answer the query over every document in a persistent
+/// store. The plan carries its analysis facts, so documents missing a
+/// required symbol are rejected by one postings probe each, and the
+/// two-pass traversal visits only subtrees whose preorder range holds a
+/// candidate node (a posting under one of the query's accepting labels).
+fn run_store(store_path: &str, args: &Args) -> Result<ExitCode, String> {
+    use hedgex::analyze::AnalyzedQuery;
+
+    let store = DocumentStore::load(std::path::Path::new(store_path))
+        .map_err(|e| format!("{store_path}: {e}"))?;
+    // Queries parse against the store's alphabet so symbol ids line up
+    // with the postings; genuinely new symbols intern past the end and
+    // simply have empty postings everywhere.
+    let mut ab = store.alphabet().clone();
+    let (phr, facts) = if let Some(p) = &args.phr {
+        let phr = match parse_phr(p, &mut ab) {
+            Ok(p) => p,
+            Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+        };
+        // Analysis cost scales with the query's own symbols — fine for a
+        // hand-written PHR.
+        let facts = AnalyzedQuery::new(&phr, None).plan_facts(None);
+        (phr, facts)
+    } else {
+        let path = match parse_path(args.path.as_deref().expect("validated"), &mut ab) {
+            Ok(p) => p,
+            Err(e) => return Ok(usage_error(&format!("query: {e}"))),
+        };
+        // The universal embedding mentions the whole corpus alphabet, so
+        // automata-based analysis would blow up; the path's own structure
+        // gives the same required-symbol facts for free.
+        let facts = match path.required_syms() {
+            Some(required_syms) => PlanFacts {
+                known_empty: false,
+                why_empty: None,
+                required_syms,
+            },
+            None => PlanFacts {
+                known_empty: true,
+                why_empty: Some("path expression denotes no paths".into()),
+                required_syms: Vec::new(),
+            },
+        };
+        let syms: Vec<_> = ab.syms().collect();
+        let vars: Vec<_> = ab.vars().collect();
+        let z = ab.sub("hxq-universal");
+        (path.to_phr(&syms, &vars, z), facts)
+    };
+    let plan = Plan::compile(&phr).with_facts(facts);
+    let query = hedgex::store::StoreQuery::new(&store, &plan);
+    let jobs = args.jobs.unwrap_or(1) as usize;
+    let n = args.repeat.unwrap_or(1);
+
+    let mode = if args.count {
+        EvalMode::Count
+    } else if args.exists {
+        EvalMode::Exists
+    } else {
+        EvalMode::Locate
+    };
+    let t = Instant::now();
+    let mut located: Vec<Vec<u32>> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut exists: Vec<bool> = Vec::new();
+    for _ in 0..n {
+        match mode {
+            EvalMode::Locate => located = query.locate_corpus(jobs),
+            EvalMode::Count => counts = query.count_corpus(jobs),
+            EvalMode::Exists => exists = query.exists_corpus(jobs),
+        }
+    }
+    let wall = t.elapsed();
+    if args.repeat.is_some() {
+        let total_ms = wall.as_secs_f64() * 1e3;
+        let nodes_per_s = (store.total_nodes() * n) as f64 / wall.as_secs_f64().max(1e-9);
+        let workers = if jobs > 1 {
+            format!(", {jobs} workers")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "repeat: {n} runs in {total_ms:.3} ms ({:.3} ms/run, {nodes_per_s:.0} nodes/s{workers})",
+            total_ms / n as f64
+        );
+    }
+    match mode {
+        EvalMode::Locate => {
+            for (doc, hits) in store.docs().iter().zip(&located) {
+                for &node in hits {
+                    let dewey: Vec<String> =
+                        doc.hedge().dewey(node).iter().map(u32::to_string).collect();
+                    println!("{}:/{}", doc.name(), dewey.join("/"));
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        EvalMode::Count => {
+            // The corpus total is the answer: exit 0 even when it is 0.
+            println!("{}", counts.iter().sum::<u64>());
+            Ok(ExitCode::SUCCESS)
+        }
+        EvalMode::Exists => Ok(if exists.iter().any(|&e| e) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        }),
+    }
+}
+
 fn run_query(args: &Args) -> Result<ExitCode, String> {
+    if let Some(store_path) = &args.store {
+        return run_store(store_path, args);
+    }
     let src = match args.file.as_deref() {
         Some("-") => {
             let mut s = String::new();
@@ -892,12 +1048,110 @@ fn run_check(args: CheckArgs) -> ExitCode {
     }
 }
 
+struct IndexArgs {
+    dir: String,
+    out: String,
+    keep_attrs: bool,
+}
+
+fn parse_index_args(mut it: impl Iterator<Item = String>) -> Result<IndexArgs, ExitCode> {
+    let mut dir: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut keep_attrs = false;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage_error(&format!("option '{flag}' needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")?),
+            "--attrs" => keep_attrs = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Err(ExitCode::SUCCESS);
+            }
+            _ if arg.starts_with('-') => {
+                return Err(usage_error(&format!("unknown option '{arg}'")));
+            }
+            _ if dir.is_none() => dir = Some(arg),
+            _ => return Err(usage_error(&format!("unexpected argument '{arg}'"))),
+        }
+    }
+    let Some(dir) = dir else {
+        return Err(usage_error("'index' needs a directory of *.xml files"));
+    };
+    let Some(out) = out else {
+        return Err(usage_error("'index' needs '--out STORE'"));
+    };
+    Ok(IndexArgs {
+        dir,
+        out,
+        keep_attrs,
+    })
+}
+
+/// `hxq index DIR --out STORE`: the parse-once half of the store workflow.
+/// Every `*.xml` under DIR (sorted by name, so stores are reproducible) is
+/// parsed against one shared alphabet, indexed, and written out.
+fn run_index(args: IndexArgs) -> Result<ExitCode, String> {
+    let entries = std::fs::read_dir(&args.dir).map_err(|e| format!("{}: {e}", args.dir))?;
+    let mut files: Vec<(String, std::path::PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", args.dir))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("xml") {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            files.push((name, path));
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("{}: no *.xml files to index", args.dir));
+    }
+    files.sort();
+    let cfg = HedgeConfig {
+        keep_text: true,
+        keep_attrs: args.keep_attrs,
+    };
+    let mut ab = Alphabet::new();
+    let mut docs: Vec<(String, FlatHedge)> = Vec::with_capacity(files.len());
+    for (name, path) in files {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = parse_xml(&src).map_err(|e| format!("{name}: {e}"))?;
+        let hedge = to_hedge(&doc, &mut ab, cfg);
+        docs.push((name, FlatHedge::from_hedge(&hedge)));
+    }
+    let store = DocumentStore::build(ab, docs);
+    store
+        .save(std::path::Path::new(&args.out))
+        .map_err(|e| format!("{}: {e}", args.out))?;
+    println!(
+        "indexed {} documents ({} nodes) into {}",
+        store.len(),
+        store.total_nodes(),
+        args.out
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("check") {
         argv.next();
         return match parse_check_args(argv) {
             Ok(a) => run_check(a),
+            Err(code) => code,
+        };
+    }
+    if argv.peek().map(String::as_str) == Some("index") {
+        argv.next();
+        return match parse_index_args(argv) {
+            Ok(a) => match run_index(a) {
+                Ok(code) => code,
+                Err(msg) => {
+                    eprintln!("hxq: {msg}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(code) => code,
         };
     }

@@ -18,7 +18,10 @@
 //! * [`baseline`] — quadratic/interpretive baselines for benchmarking;
 //! * [`par`] — scoped worker pool and parallel corpus/plan evaluation;
 //! * [`stream`] — push-based streaming evaluation: answer queries during
-//!   the XML parse with memory bounded by document depth.
+//!   the XML parse with memory bounded by document depth;
+//! * [`store`] — persistent document corpora: versioned, checksummed
+//!   on-disk stores with a sortable-path structural index and
+//!   index-pruned query evaluation.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `hedgex-core`
 //! crate docs for the paper-to-module map.
@@ -33,6 +36,7 @@ pub use hedgex_ha as ha;
 pub use hedgex_hedge as hedge;
 pub use hedgex_obs as obs;
 pub use hedgex_par as par;
+pub use hedgex_store as store;
 pub use hedgex_stream as stream;
 pub use hedgex_xml as xml;
 
@@ -55,6 +59,7 @@ pub mod prelude {
     pub use hedgex_ha::{determinize, Dha, Nha};
     pub use hedgex_hedge::{parse_hedge, Alphabet, FlatHedge, Hedge, PointedHedge};
     pub use hedgex_par::ParallelEvaluator;
+    pub use hedgex_store::{DocumentStore, StoreError, StoreQuery, StructIndex};
     pub use hedgex_stream::{replay_flat, stream_xml, HedgeSink, PathStream, PhrStream};
     pub use hedgex_xml::{parse_xml, to_hedge, write_xml, HedgeConfig};
 }

@@ -89,6 +89,20 @@ impl ParallelEvaluator {
         )
     }
 
+    /// The generic corpus shape under all of the above: `out[i] =
+    /// work(scratch, i)` where each worker owns one [`EvalScratch`] for
+    /// its lifetime and results return in input order. Callers that need
+    /// more than "plan × `FlatHedge` slice" — e.g. `hedgex-store` running
+    /// index-pruned queries over stored documents — plug their own
+    /// per-task closure into the same pool discipline.
+    pub fn map_with_scratch<T, W>(&self, tasks: usize, work: W) -> Vec<T>
+    where
+        T: Send,
+        W: Fn(&mut EvalScratch, usize) -> T + Sync,
+    {
+        pool::run_scoped(self.jobs, tasks, |_| EvalScratch::new(), work)
+    }
+
     /// The dual: many plans over one document. `out[i]` is the matches of
     /// `plans[i]` on `doc`.
     pub fn eval_plans(&self, plans: &[Plan], doc: &FlatHedge) -> Vec<Vec<NodeId>> {

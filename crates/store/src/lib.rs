@@ -1,0 +1,44 @@
+//! # hedgex-store — persistent documents, structural indexes, pruned queries
+//!
+//! The evaluators in `hedgex-core` are linear per document — but a corpus
+//! served repeatedly re-parses and re-traverses every document on every
+//! query. This crate is the "pre-compute structure once, answer by range
+//! scan" layer on top:
+//!
+//! * [`DocumentStore`] — an on-disk corpus of [`FlatHedge`]s plus their
+//!   shared [`Alphabet`]. The dense preorder arena is already
+//!   serialization-shaped: one `(label, parent)` record per node is the
+//!   whole document, and `FlatHedge::from_parts` validates and relinks it
+//!   at load. The file format is versioned and checksummed; loading
+//!   truncated or corrupted bytes returns a typed [`StoreError`] with a
+//!   byte-accurate position — never a panic.
+//! * [`StructIndex`] — per stored document: a compact *sortable path* per
+//!   node (base32 child indices with `W/X/Y/Z` length escapes, so
+//!   lexicographic order over paths equals preorder and "descendants of
+//!   `P`" is the single range `P0..PZW`), per-symbol postings
+//!   (`SymId` → sorted preorder node ids), and the materialized subtree
+//!   extents those paths induce.
+//! * [`StoreQuery`] — index-pruned evaluation: a plan's required symbols
+//!   are checked against postings emptiness (O(1) per document instead of
+//!   a label scan), the candidate set is the union of the
+//!   `CompiledPhr::match_syms` postings, and the two-pass traversal visits
+//!   only the ancestors-closure of candidate ranges
+//!   (`hedgex_core::two_pass::eval_pruned_into`). Documents whose
+//!   candidate set is empty skip evaluation — including the bottom-up
+//!   automaton run — entirely.
+//!
+//! Observability: `store.{docs_pruned,ranges_skipped,postings_hits}`
+//! counters and `store.{save,load,query.doc}` spans.
+//!
+//! [`FlatHedge`]: hedgex_hedge::FlatHedge
+//! [`Alphabet`]: hedgex_hedge::Alphabet
+//! [`CompiledPhr::match_syms`]: hedgex_core::CompiledPhr::match_syms
+
+#![forbid(unsafe_code)]
+
+pub mod path;
+pub mod query;
+pub mod store;
+
+pub use query::StoreQuery;
+pub use store::{DocumentStore, StoreError, StoredDoc, StructIndex};

@@ -1,0 +1,812 @@
+//! The on-disk corpus: layout, checksummed load, and the per-document
+//! structural index.
+//!
+//! ## File layout (all integers little-endian)
+//!
+//! ```text
+//! offset 0   magic  b"HXST"
+//!        4   version u32                  (currently 1)
+//!        8   payload length u64           (bytes after the header)
+//!        16  checksum u64                 (FNV-1a 64 over the payload)
+//!        24  payload:
+//!              alphabet   3 × [count u32, count × (len u32, utf-8 bytes)]
+//!                         (symbols, variables, substitution symbols)
+//!              doc count  u32
+//!              per document:
+//!                name       len u32, utf-8 bytes
+//!                nodes      count u32, count × (tag u8, label u32, parent u32)
+//!                postings   (num_syms+1) × offset u32, total u32 node ids
+//!                paths      byte len u32, bytes, (nodes+1) × offset u32
+//! ```
+//!
+//! The node records are the *entire* document — `(label, parent)` per node
+//! in preorder — because the arena's sibling/child links are derivable
+//! (`FlatHedge::from_parts` revalidates and relinks on load). The index
+//! blocks are stored so a reader never recomputes them, but the load path
+//! rebuilds both from the freshly validated hedge and compares: a store
+//! whose index disagrees with its own documents is rejected as corrupt,
+//! so pruned evaluation never trusts unverified ranges.
+//!
+//! Every load error is a typed [`StoreError`] carrying the byte offset at
+//! which the problem was detected; no input, however mangled, panics.
+
+use hedgex_hedge::flat::{FlatLabel, NIL};
+use hedgex_hedge::{Alphabet, FlatHedge, NodeId, SubId, SymId, VarId};
+use hedgex_obs as obs;
+
+use crate::path::{descendants_range, node_paths};
+
+/// File magic: "HedgeX STore".
+pub const MAGIC: [u8; 4] = *b"HXST";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Header size in bytes (magic + version + payload length + checksum).
+pub const HEADER_LEN: usize = 24;
+
+/// A typed, position-carrying load/save error. Loading never panics: any
+/// deviation from the format — short reads, foreign magic, bad checksums,
+/// structurally impossible payloads — maps to one of these.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error (save or load).
+    Io(std::io::Error),
+    /// The input ended before a read that began at `offset` could finish.
+    Truncated {
+        /// Where the unfinished read began.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available there.
+        available: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// Always 0; carried for uniformity.
+        offset: usize,
+    },
+    /// A version this build does not read.
+    UnsupportedVersion {
+        /// Offset of the version field.
+        offset: usize,
+        /// The version found.
+        found: u32,
+    },
+    /// The header's payload length disagrees with the actual byte count.
+    LengthMismatch {
+        /// Offset of the length field.
+        offset: usize,
+        /// Length the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The payload does not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Offset of the checksum field.
+        offset: usize,
+        /// Checksum the header declares.
+        stored: u64,
+        /// Checksum of the payload as read.
+        computed: u64,
+    },
+    /// The payload parsed but is structurally impossible.
+    Corrupt {
+        /// Offset of the offending bytes.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl StoreError {
+    /// The byte offset the error points at (`None` for I/O errors).
+    pub fn offset(&self) -> Option<usize> {
+        match *self {
+            StoreError::Io(_) => None,
+            StoreError::Truncated { offset, .. }
+            | StoreError::BadMagic { offset }
+            | StoreError::UnsupportedVersion { offset, .. }
+            | StoreError::LengthMismatch { offset, .. }
+            | StoreError::ChecksumMismatch { offset, .. }
+            | StoreError::Corrupt { offset, .. } => Some(offset),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Truncated {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "store truncated at byte {offset}: needed {needed} bytes, {available} available"
+            ),
+            StoreError::BadMagic { offset } => {
+                write!(f, "not a hedgex store (bad magic at byte {offset})")
+            }
+            StoreError::UnsupportedVersion { offset, found } => write!(
+                f,
+                "unsupported store version {found} at byte {offset} (this build reads {VERSION})"
+            ),
+            StoreError::LengthMismatch {
+                offset,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "store length field at byte {offset} declares {declared} payload bytes, found {actual}"
+            ),
+            StoreError::ChecksumMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "store checksum mismatch at byte {offset}: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            StoreError::Corrupt { offset, what } => {
+                write!(f, "corrupt store at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over raw bytes (the payload checksum).
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// The structural index
+// ---------------------------------------------------------------------------
+
+/// The per-document structural index: sortable paths, per-symbol postings,
+/// and the subtree extents the paths induce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructIndex {
+    /// `postings[postings_off[s]..postings_off[s+1]]` = sorted preorder
+    /// node ids labelled `SymId(s)`; length `num_syms + 1`.
+    postings_off: Vec<u32>,
+    /// The flattened postings lists.
+    postings: Vec<NodeId>,
+    /// Flattened sortable paths (see [`crate::path`]).
+    path_bytes: Vec<u8>,
+    /// `path_bytes[path_off[n]..path_off[n+1]]` = node `n`'s path; length
+    /// `num_nodes + 1`.
+    path_off: Vec<u32>,
+    /// One past the last preorder descendant of each node — the
+    /// `P0..PZW` range scan, materialized once at build time.
+    subtree_end: Vec<NodeId>,
+}
+
+impl StructIndex {
+    /// Index one document against an alphabet of `num_syms` symbols.
+    pub fn build(h: &FlatHedge, num_syms: usize) -> StructIndex {
+        let n = h.num_nodes();
+        // Postings by counting sort: dense by SymId, preorder within.
+        let mut counts = vec![0u32; num_syms + 1];
+        for id in h.preorder() {
+            if let FlatLabel::Sym(a) = h.label(id) {
+                counts[a.0 as usize + 1] += 1;
+            }
+        }
+        for s in 0..num_syms {
+            counts[s + 1] += counts[s];
+        }
+        let postings_off = counts.clone();
+        let mut cursor = counts;
+        let mut postings = vec![0 as NodeId; postings_off[num_syms] as usize];
+        for id in h.preorder() {
+            if let FlatLabel::Sym(a) = h.label(id) {
+                postings[cursor[a.0 as usize] as usize] = id;
+                cursor[a.0 as usize] += 1;
+            }
+        }
+        let (path_bytes, path_off) = node_paths(h);
+        // The subtree extents are exactly the sortable-path descendant
+        // ranges (binary search per node; validated against each other by
+        // the property suite).
+        let mut subtree_end: Vec<NodeId> = Vec::with_capacity(n);
+        for id in h.preorder() {
+            let (_, hi) = descendants_range(&path_bytes, &path_off, id);
+            subtree_end.push(hi);
+        }
+        StructIndex {
+            postings_off,
+            postings,
+            path_bytes,
+            path_off,
+            subtree_end,
+        }
+    }
+
+    /// The sorted preorder node ids labelled `a` (empty for symbols beyond
+    /// the indexed alphabet — e.g. interned only by a later query).
+    pub fn postings(&self, a: SymId) -> &[NodeId] {
+        let s = a.0 as usize;
+        if s + 1 >= self.postings_off.len() {
+            return &[];
+        }
+        &self.postings[self.postings_off[s] as usize..self.postings_off[s + 1] as usize]
+    }
+
+    /// The sortable path of node `n`.
+    pub fn path(&self, n: NodeId) -> &[u8] {
+        &self.path_bytes[self.path_off[n as usize] as usize..self.path_off[n as usize + 1] as usize]
+    }
+
+    /// One past the last preorder descendant of each node.
+    pub fn subtree_end(&self) -> &[NodeId] {
+        &self.subtree_end
+    }
+
+    /// The descendant range of `n` by sortable-path binary search — the
+    /// `[P·"0", P·"ZW")` scan itself, bypassing the materialized extents.
+    pub fn descendants_by_path(&self, n: NodeId) -> (NodeId, NodeId) {
+        descendants_range(&self.path_bytes, &self.path_off, n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// One stored document: its name (for CLI output), its hedge, its index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredDoc {
+    name: String,
+    hedge: FlatHedge,
+    index: StructIndex,
+}
+
+impl StoredDoc {
+    /// The document's name (its file name at `hxq index` time).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The document itself.
+    pub fn hedge(&self) -> &FlatHedge {
+        &self.hedge
+    }
+
+    /// The document's structural index.
+    pub fn index(&self) -> &StructIndex {
+        &self.index
+    }
+}
+
+/// A persistent corpus: one shared [`Alphabet`] and any number of indexed
+/// documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentStore {
+    alphabet: Alphabet,
+    docs: Vec<StoredDoc>,
+}
+
+impl DocumentStore {
+    /// Build a store from documents flattened against a shared alphabet.
+    /// Indexing happens here (once); queries afterwards only read.
+    pub fn build(alphabet: Alphabet, docs: Vec<(String, FlatHedge)>) -> DocumentStore {
+        let num_syms = alphabet.num_syms();
+        let docs = docs
+            .into_iter()
+            .map(|(name, hedge)| {
+                let index = StructIndex::build(&hedge, num_syms);
+                StoredDoc { name, hedge, index }
+            })
+            .collect();
+        DocumentStore { alphabet, docs }
+    }
+
+    /// The shared alphabet (clone it to parse queries against the same
+    /// symbol ids the postings use).
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The stored documents, in insertion order.
+    pub fn docs(&self) -> &[StoredDoc] {
+        &self.docs
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total node count across the corpus.
+    pub fn total_nodes(&self) -> u64 {
+        self.docs.iter().map(|d| d.hedge.num_nodes() as u64).sum()
+    }
+
+    // -- serialization ------------------------------------------------------
+
+    /// Serialize to the versioned, checksummed byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let ab = &self.alphabet;
+        write_names(
+            &mut payload,
+            (0..ab.num_syms()).map(|i| ab.sym_name(SymId(i as u32))),
+        );
+        write_names(
+            &mut payload,
+            (0..ab.num_vars()).map(|i| ab.var_name(VarId(i as u32))),
+        );
+        write_names(
+            &mut payload,
+            (0..ab.num_subs()).map(|i| ab.sub_name(SubId(i as u32))),
+        );
+        write_u32(&mut payload, self.docs.len() as u32);
+        for doc in &self.docs {
+            write_u32(&mut payload, doc.name.len() as u32);
+            payload.extend_from_slice(doc.name.as_bytes());
+            let h = &doc.hedge;
+            write_u32(&mut payload, h.num_nodes() as u32);
+            for id in h.preorder() {
+                let (tag, label) = match h.label(id) {
+                    FlatLabel::Sym(a) => (0u8, a.0),
+                    FlatLabel::Var(x) => (1u8, x.0),
+                    FlatLabel::Subst(z) => (2u8, z.0),
+                };
+                payload.push(tag);
+                write_u32(&mut payload, label);
+                write_u32(&mut payload, h.parent(id).unwrap_or(NIL));
+            }
+            let ix = &doc.index;
+            for &o in &ix.postings_off {
+                write_u32(&mut payload, o);
+            }
+            write_u32(&mut payload, ix.postings.len() as u32);
+            for &p in &ix.postings {
+                write_u32(&mut payload, p);
+            }
+            write_u32(&mut payload, ix.path_bytes.len() as u32);
+            payload.extend_from_slice(&ix.path_bytes);
+            for &o in &ix.path_off {
+                write_u32(&mut payload, o);
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse the byte format. Never panics; every malformation returns a
+    /// positioned [`StoreError`].
+    pub fn from_bytes(buf: &[u8]) -> Result<DocumentStore, StoreError> {
+        let _span = obs::span("store.load");
+        let mut r = Reader { buf, pos: 0 };
+        let magic = r.bytes(4)?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { offset: 0 });
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                offset: 4,
+                found: version,
+            });
+        }
+        let declared = r.u64()?;
+        let stored_sum = r.u64()?;
+        let payload = &buf[HEADER_LEN..];
+        if declared != payload.len() as u64 {
+            return Err(StoreError::LengthMismatch {
+                offset: 8,
+                declared,
+                actual: payload.len() as u64,
+            });
+        }
+        let computed = fnv1a_bytes(payload);
+        if computed != stored_sum {
+            return Err(StoreError::ChecksumMismatch {
+                offset: 16,
+                stored: stored_sum,
+                computed,
+            });
+        }
+
+        let mut alphabet = Alphabet::new();
+        read_names(&mut r, |n| alphabet.sym(n).0)?;
+        read_names(&mut r, |n| alphabet.var(n).0)?;
+        read_names(&mut r, |n| alphabet.sub(n).0)?;
+        let num_syms = alphabet.num_syms() as u32;
+        let num_vars = alphabet.num_vars() as u32;
+        let num_subs = alphabet.num_subs() as u32;
+
+        let doc_count = r.u32()? as usize;
+        let mut docs = Vec::new();
+        r.check_items(doc_count, 8)?;
+        for _ in 0..doc_count {
+            let name_len = r.u32()? as usize;
+            let name_off = r.pos;
+            let name = std::str::from_utf8(r.bytes(name_len)?)
+                .map_err(|_| StoreError::Corrupt {
+                    offset: name_off,
+                    what: "document name is not valid UTF-8",
+                })?
+                .to_string();
+
+            let node_count = r.u32()? as usize;
+            r.check_items(node_count, 9)?;
+            let nodes_off = r.pos;
+            let mut records: Vec<(FlatLabel, NodeId)> = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                let tag = r.u8()?;
+                let label = r.u32()?;
+                let parent = r.u32()?;
+                let label = match tag {
+                    0 if label < num_syms => FlatLabel::Sym(SymId(label)),
+                    1 if label < num_vars => FlatLabel::Var(VarId(label)),
+                    2 if label < num_subs || label == SubId::ETA.0 => {
+                        FlatLabel::Subst(SubId(label))
+                    }
+                    0..=2 => {
+                        return Err(StoreError::Corrupt {
+                            offset: nodes_off,
+                            what: "node label id out of the alphabet's range",
+                        })
+                    }
+                    _ => {
+                        return Err(StoreError::Corrupt {
+                            offset: nodes_off,
+                            what: "unknown node label tag",
+                        })
+                    }
+                };
+                records.push((label, parent));
+            }
+            let hedge = FlatHedge::from_parts(records).map_err(|_| StoreError::Corrupt {
+                offset: nodes_off,
+                what: "node records are not a preorder forest",
+            })?;
+
+            let index_off = r.pos;
+            r.check_items(num_syms as usize + 1, 4)?;
+            let mut postings_off = Vec::with_capacity(num_syms as usize + 1);
+            for _ in 0..=num_syms {
+                postings_off.push(r.u32()?);
+            }
+            let total = r.u32()? as usize;
+            r.check_items(total, 4)?;
+            let mut postings = Vec::with_capacity(total);
+            for _ in 0..total {
+                postings.push(r.u32()?);
+            }
+            let path_len = r.u32()? as usize;
+            let path_bytes = r.bytes(path_len)?.to_vec();
+            r.check_items(node_count + 1, 4)?;
+            let mut path_off = Vec::with_capacity(node_count + 1);
+            for _ in 0..=node_count {
+                path_off.push(r.u32()?);
+            }
+            // Rather than trust offsets/ids piecemeal, rebuild the index
+            // from the freshly validated hedge and demand byte equality —
+            // O(n), and pruned evaluation afterwards needs no defensive
+            // checks at all.
+            let index = StructIndex::build(&hedge, num_syms as usize);
+            if index.postings_off != postings_off
+                || index.postings != postings
+                || index.path_bytes != path_bytes
+                || index.path_off != path_off
+            {
+                return Err(StoreError::Corrupt {
+                    offset: index_off,
+                    what: "structural index disagrees with its document",
+                });
+            }
+            docs.push(StoredDoc { name, hedge, index });
+        }
+        if r.pos != buf.len() {
+            return Err(StoreError::Corrupt {
+                offset: r.pos,
+                what: "trailing bytes after the last document",
+            });
+        }
+        obs::counter_add("store.load.docs", docs.len() as u64);
+        Ok(DocumentStore { alphabet, docs })
+    }
+
+    /// Write the store to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), StoreError> {
+        let _span = obs::span("store.save");
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a store from a file.
+    pub fn load(path: &std::path::Path) -> Result<DocumentStore, StoreError> {
+        let bytes = std::fs::read(path)?;
+        DocumentStore::from_bytes(&bytes)
+    }
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_names<'a>(out: &mut Vec<u8>, names: impl ExactSizeIterator<Item = &'a str>) {
+    write_u32(out, names.len() as u32);
+    for name in names {
+        write_u32(out, name.len() as u32);
+        out.extend_from_slice(name.as_bytes());
+    }
+}
+
+fn read_names(r: &mut Reader<'_>, mut intern: impl FnMut(&str) -> u32) -> Result<(), StoreError> {
+    let count = r.u32()? as usize;
+    r.check_items(count, 4)?;
+    for i in 0..count {
+        let len = r.u32()? as usize;
+        let off = r.pos;
+        let name = std::str::from_utf8(r.bytes(len)?).map_err(|_| StoreError::Corrupt {
+            offset: off,
+            what: "alphabet name is not valid UTF-8",
+        })?;
+        if intern(name) != i as u32 {
+            return Err(StoreError::Corrupt {
+                offset: off,
+                what: "duplicate name in the alphabet table",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A positioned, bounds-checked little-endian reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let available = self.buf.len() - self.pos;
+        if n > available {
+            return Err(StoreError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    /// Guard an upcoming `count`-item read (each at least `min_size`
+    /// bytes) *before* allocating: a corrupted count can therefore demand
+    /// at most the input's own size, never an absurd allocation.
+    fn check_items(&self, count: usize, min_size: usize) -> Result<(), StoreError> {
+        let available = self.buf.len() - self.pos;
+        let needed = count.saturating_mul(min_size);
+        if needed > available {
+            return Err(StoreError::Truncated {
+                offset: self.pos,
+                needed,
+                available,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedgex_hedge::parse_hedge;
+    use std::collections::BTreeMap;
+
+    fn sample_store() -> DocumentStore {
+        let mut ab = Alphabet::new();
+        let docs: Vec<(String, FlatHedge)> =
+            ["b a<a<b $x> b>", "a a<b b<a>> b", "", "b<b<b<a $y>>>"]
+                .iter()
+                .enumerate()
+                .map(|(i, src)| {
+                    (
+                        format!("doc{i}.xml"),
+                        FlatHedge::from_hedge(&parse_hedge(src, &mut ab).unwrap()),
+                    )
+                })
+                .collect();
+        DocumentStore::build(ab, docs)
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let store = sample_store();
+        let bytes = store.to_bytes();
+        let loaded = DocumentStore::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded, store);
+        assert_eq!(loaded.len(), 4);
+        assert_eq!(loaded.total_nodes(), store.total_nodes());
+    }
+
+    #[test]
+    fn postings_are_sorted_and_complete() {
+        let store = sample_store();
+        for doc in store.docs() {
+            let h = doc.hedge();
+            let mut by_sym: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+            for id in h.preorder() {
+                if let FlatLabel::Sym(a) = h.label(id) {
+                    by_sym.entry(a.0).or_default().push(id);
+                }
+            }
+            for s in 0..store.alphabet().num_syms() as u32 {
+                let want = by_sym.remove(&s).unwrap_or_default();
+                assert_eq!(doc.index().postings(SymId(s)), &want[..], "{}", doc.name());
+            }
+            // Out-of-range symbols have empty postings, not panics.
+            assert_eq!(doc.index().postings(SymId(999)), &[] as &[NodeId]);
+        }
+    }
+
+    #[test]
+    fn subtree_ends_match_path_ranges_and_parents() {
+        let store = sample_store();
+        for doc in store.docs() {
+            let h = doc.hedge();
+            let ix = doc.index();
+            for id in h.preorder() {
+                let (lo, hi) = ix.descendants_by_path(id);
+                assert_eq!(lo, id + 1);
+                assert_eq!(hi, ix.subtree_end()[id as usize]);
+                // Everything in the range really descends from id.
+                for d in lo..hi {
+                    let mut anc = h.parent(d);
+                    while let Some(a) = anc {
+                        if a == id {
+                            break;
+                        }
+                        anc = h.parent(a);
+                    }
+                    assert_eq!(anc, Some(id), "node {d} not under {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_errors_are_positioned() {
+        let store = sample_store();
+        let good = store.to_bytes();
+
+        assert!(matches!(
+            DocumentStore::from_bytes(&[]),
+            Err(StoreError::Truncated {
+                offset: 0,
+                needed: 4,
+                available: 0
+            })
+        ));
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            DocumentStore::from_bytes(&bad),
+            Err(StoreError::BadMagic { offset: 0 })
+        ));
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            DocumentStore::from_bytes(&bad),
+            Err(StoreError::UnsupportedVersion {
+                offset: 4,
+                found: 9
+            })
+        ));
+        // Cut the payload short: the declared length no longer matches.
+        let cut = &good[..good.len() - 3];
+        assert!(matches!(
+            DocumentStore::from_bytes(cut),
+            Err(StoreError::LengthMismatch { offset: 8, .. })
+        ));
+        // Flip a payload byte: caught by the checksum before parsing.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        assert!(matches!(
+            DocumentStore::from_bytes(&bad),
+            Err(StoreError::ChecksumMismatch { offset: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_with_fixed_checksum_is_still_typed() {
+        // Re-seal the checksum after corrupting the payload, so the parse
+        // itself must catch the damage.
+        let reseal = |mut bytes: Vec<u8>| -> Vec<u8> {
+            let sum = fnv1a_bytes(&bytes[HEADER_LEN..]);
+            bytes[16..24].copy_from_slice(&sum.to_le_bytes());
+            bytes
+        };
+        let store = sample_store();
+        let good = store.to_bytes();
+
+        // Explode a count field: guarded before any allocation.
+        let mut bad = good.clone();
+        bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            DocumentStore::from_bytes(&reseal(bad)),
+            Err(StoreError::Truncated { .. })
+        ));
+        // Declare one fewer payload byte than present.
+        let mut bad = good.clone();
+        let declared = u64::from_le_bytes(bad[8..16].try_into().unwrap()) - 1;
+        bad[8..16].copy_from_slice(&declared.to_le_bytes());
+        assert!(matches!(
+            DocumentStore::from_bytes(&bad),
+            Err(StoreError::LengthMismatch { offset: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = DocumentStore::build(Alphabet::new(), Vec::new());
+        let loaded = DocumentStore::from_bytes(&store.to_bytes()).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.total_nodes(), 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join(format!("hedgex-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.hxst");
+        store.save(&path).unwrap();
+        let loaded = DocumentStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(DocumentStore::load(&path), Err(StoreError::Io(_))));
+    }
+}

@@ -43,6 +43,14 @@ echo "== cargo test -q --offline --no-default-features (mode consistency) =="
 # hold with the obs counters compiled out.
 cargo test -q --offline --no-default-features -p hedgex --test mode_props
 
+echo "== cargo test -q --offline --no-default-features (store properties) =="
+# Round trips and pruning soundness must hold with obs compiled out.
+cargo test -q --offline --no-default-features -p hedgex --test store_props
+
+echo "== cargo test -q --offline --no-default-features (store fuzz) =="
+# The loader's typed, positioned errors are independent of instrumentation.
+cargo test -q --offline --no-default-features -p hedgex --test store_fuzz
+
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
@@ -73,6 +81,10 @@ HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench streaming
 echo "== E10 mode-ablation bench (smoke mode: 1 sample) =="
 HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench mode_ablation
 
+echo "== E11 store bench (smoke mode: 1 sample) =="
+# Asserts indexed == warm answers and the >= 2x selective-query speedup.
+HEDGEX_BENCH_SMOKE=1 cargo bench -q --offline -p hedgex-bench --bench store
+
 echo "== bench_compare: committed baseline schema =="
 # Every committed BENCH_*.json must parse and carry the report schema the
 # sentinel compares on (ids, median/min/max, sample counts).
@@ -89,6 +101,12 @@ echo "== bench_compare: self-comparison is regression-free =="
 # the cross-machine noise a live smoke run would inject.
 cargo run -q --offline --release -p hedgex-bench --bin bench_compare -- \
   --baseline-dir . --candidate-dir .
+
+echo "== bench_compare: trajectory covers every committed report =="
+# The audit history must not fall behind the baselines: every committed
+# BENCH_*.json group has to appear in the latest BENCH_TRAJECTORY.json row.
+cargo run -q --offline --release -p hedgex-bench --bin bench_compare -- \
+  --trajectory-covers BENCH_TRAJECTORY.json --baseline-dir .
 
 echo "== bench_compare: sentinel self-test (must detect a 3x slowdown) =="
 # The self-test plants a synthetic 3x slowdown and exits non-zero iff the

@@ -815,6 +815,181 @@ fn check_containment_verdicts_and_counterexamples() {
     assert!(txt.contains("equivalent"), "{txt}");
 }
 
+/// Build a small corpus directory and index it; returns (dir, store path).
+fn indexed_corpus(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = scratch(&format!("corpus-{tag}"));
+    std::fs::create_dir_all(&dir).expect("corpus dir");
+    for (name, xml) in [
+        ("a.xml", "<r><a><b/></a><c/></r>"),
+        ("b.xml", "<r><c/><a><b/><b/></a></r>"),
+        ("c.xml", "<r><c/><c/></r>"),
+        ("notes.txt", "not xml, must be ignored"),
+    ] {
+        std::fs::write(dir.join(name), xml).unwrap();
+    }
+    let store = scratch(&format!("corpus-{tag}.hxst"));
+    let out = hxq(&[
+        "index",
+        dir.to_str().unwrap(),
+        "--out",
+        store.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let txt = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        txt.contains("indexed 3 documents"),
+        "the .txt file must not be indexed: {txt}"
+    );
+    (dir, store)
+}
+
+#[test]
+fn store_queries_answer_like_grep_over_the_corpus() {
+    let (dir, store) = indexed_corpus("roundtrip");
+    let store_s = store.to_str().unwrap();
+
+    // Locate prints `name:/dewey` lines, documents in name order.
+    let out = hxq(&["--store", store_s, "--path", "r a b"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(String::from)
+        .collect();
+    assert_eq!(lines, ["a.xml:/1/1/1", "b.xml:/1/2/1", "b.xml:/1/2/2"]);
+
+    // --count agrees with the number of located lines; --exists with their
+    // existence (exit 0 on a hit, 1 on a miss, grep -q style).
+    let counted = hxq(&["--store", store_s, "--path", "r a b", "--count"]);
+    assert_eq!(counted.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&counted.stdout).trim(),
+        lines.len().to_string()
+    );
+    let hit = hxq(&["--store", store_s, "--path", "r a b", "--exists"]);
+    assert_eq!(hit.status.code(), Some(0));
+    assert!(hit.stdout.is_empty(), "grep -q semantics: no output");
+    let miss = hxq(&["--store", store_s, "--path", "r nosuch", "--exists"]);
+    assert_eq!(miss.status.code(), Some(1));
+    assert!(miss.stderr.is_empty(), "a miss is not an error");
+
+    // A symbol absent from every document prunes the whole corpus but is
+    // still an answer, not an error.
+    let zero = hxq(&["--store", store_s, "--path", "zzz", "--count"]);
+    assert_eq!(zero.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&zero.stdout).trim(), "0");
+
+    // --phr takes the same store path as --path: "a b anywhere" spelled
+    // as an explicit PHR must count every b under an a (all three).
+    let u = "(r<%z>|a<%z>|b<%z>|c<%z>)*^z";
+    let any_b = format!("[{u} ; b ; {u}]([{u} ; a ; {u}]|[{u} ; r ; {u}])*");
+    let phr = hxq(&["--store", store_s, "--phr", &any_b, "--count"]);
+    assert_eq!(
+        phr.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&phr.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&phr.stdout).trim(), "3");
+
+    // --repeat/--jobs compose: same stdout, summary on stderr.
+    let pooled = hxq(&[
+        "--store", store_s, "--path", "r a b", "--repeat", "3", "--jobs", "2",
+    ]);
+    assert_eq!(pooled.status.code(), Some(0));
+    assert_eq!(out.stdout, pooled.stdout, "hits must not depend on N/J");
+    let err = String::from_utf8_lossy(&pooled.stderr);
+    assert!(err.contains("repeat: 3 runs in"), "summary missing: {err}");
+    assert!(err.contains("2 workers"), "worker count missing: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn store_runtime_errors_exit_1_with_one_line_diagnostics() {
+    // A missing store file is a runtime error naming the path.
+    let out = hxq(&["--store", "/nonexistent/nosuch.hxst", "--path", "a"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.lines().count(), 1, "diagnostic must be one line: {err}");
+    assert!(err.contains("nosuch.hxst"), "{err:?} should name the store");
+
+    // A corrupted store reports the typed loader error, positioned.
+    let bad = scratch("corrupt.hxst");
+    std::fs::write(&bad, b"HXSTgarbage").unwrap();
+    let out = hxq(&["--store", bad.to_str().unwrap(), "--path", "a"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+    assert!(err.contains("byte"), "loader position missing: {err}");
+
+    // `index` over a directory with no *.xml files is a runtime error.
+    let empty = scratch("empty-corpus");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = hxq(&[
+        "index",
+        empty.to_str().unwrap(),
+        "--out",
+        scratch("never.hxst").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no *.xml files"));
+
+    std::fs::remove_file(&bad).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
+fn store_usage_errors_exit_2() {
+    for (args, needle) in [
+        (
+            &["--store", "-", "--path", "a"][..],
+            "cannot read from stdin",
+        ),
+        (
+            &["--store", "s.hxst", "--path", "a", "doc.xml"][..],
+            "takes no FILE argument",
+        ),
+        (
+            &["--store", "s.hxst", "--path", "a", "--stream"][..],
+            "'--store' is incompatible with '--stream'",
+        ),
+        (
+            &["--store", "s.hxst", "--path", "a", "--mark"][..],
+            "'--store' is incompatible with '--mark'",
+        ),
+        (
+            &["--store", "s.hxst", "--path", "a", "--explain"][..],
+            "'--store' is incompatible with '--explain'",
+        ),
+        (&["--store", "s.hxst"][..], "one of --path or --phr"),
+        (&["index"][..], "needs a directory"),
+        (&["index", "somedir"][..], "needs '--out STORE'"),
+        (&["index", "somedir", "--out"][..], "needs a value"),
+        (
+            &["index", "somedir", "--out", "s.hxst", "--bogus"][..],
+            "unknown",
+        ),
+    ] {
+        let out = hxq(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+        assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        assert!(out.stdout.is_empty());
+    }
+}
+
 #[test]
 fn check_usage_errors_exit_2() {
     for (args, needle) in [
